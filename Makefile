@@ -1,0 +1,42 @@
+# Convenience targets for the xeonomp reproduction.
+
+GO ?= go
+
+.PHONY: build test test-short race bench figures lmbench ablations fmt vet clean
+
+build:
+	$(GO) build ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Full suite, including the integration shape studies (~5 minutes).
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# One benchmark per paper table/figure; XEONOMP_BENCH_SCALE overrides the
+# per-iteration workload scale.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# Regenerate every table and figure at full scale (~25 minutes).
+figures:
+	$(GO) run ./cmd/xeonchar -all -scale 1.0
+
+lmbench:
+	$(GO) run ./cmd/lmbench
+
+ablations:
+	$(GO) run ./cmd/sweep -ablation all
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,57 @@
+// Command lmbench runs the Section-3 LMbench-style measurements against the
+// simulated memory system: the lat_mem_rd latency staircase and the bw_mem
+// streaming bandwidths for one and two chips.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xeonomp/internal/lmbench"
+	"xeonomp/internal/machine"
+	"xeonomp/internal/units"
+)
+
+func main() {
+	curve := flag.Bool("curve", false, "print the full lat_mem_rd latency staircase")
+	flag.Parse()
+
+	m, err := machine.New(machine.PaxvilleSMP())
+	if err != nil {
+		fail(err)
+	}
+
+	if *curve {
+		var sizes []int64
+		for s := int64(4 * units.KiB); s <= 64*units.MiB; s *= 2 {
+			sizes = append(sizes, s)
+		}
+		points, err := lmbench.LatencyCurve(m, sizes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10s %s\n", "size", "latency")
+		for _, p := range points {
+			fmt.Printf("%-10s %7.2f ns\n", units.HumanBytes(p.Size), p.LatencyNs)
+		}
+		return
+	}
+
+	r, err := lmbench.Measure(m)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("L1 latency:               %7.2f ns   (paper: 1.43 ns)\n", r.L1Ns)
+	fmt.Printf("L2 latency:               %7.2f ns   (paper: 10.6 ns)\n", r.L2Ns)
+	fmt.Printf("memory latency:           %7.2f ns   (paper: 136.85 ns)\n", r.MemNs)
+	fmt.Printf("read bandwidth, 1 chip:   %7.2f GB/s (paper: 3.57 GB/s)\n", r.ReadBW1/1e9)
+	fmt.Printf("write bandwidth, 1 chip:  %7.2f GB/s (paper: 1.77 GB/s)\n", r.WriteBW1/1e9)
+	fmt.Printf("read bandwidth, 2 chips:  %7.2f GB/s (paper: 4.43 GB/s)\n", r.ReadBW2/1e9)
+	fmt.Printf("write bandwidth, 2 chips: %7.2f GB/s (paper: 2.6 GB/s)\n", r.WriteBW2/1e9)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lmbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command nasrun executes one functional NAS benchmark on the Go OpenMP
+// runtime (no simulation — real parallel computation with verification).
+//
+// Usage:
+//
+//	nasrun -bench CG -class S -threads 4
+//	nasrun -bench all -class T -threads 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xeonomp/internal/npb"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "all", "benchmark: EP, IS, CG, MG, FT, BT, SP, LU or all")
+		class   = flag.String("class", "S", "problem class: T, S, W, A, B")
+		threads = flag.Int("threads", 0, "team size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cls := npb.Class(strings.ToUpper(*class))
+	if !cls.Valid() {
+		fmt.Fprintf(os.Stderr, "nasrun: unknown class %q\n", *class)
+		os.Exit(2)
+	}
+	names := []string{"EP", "IS", "CG", "MG", "FT", "BT", "SP", "LU"}
+	if strings.ToLower(*bench) != "all" {
+		names = []string{strings.ToUpper(*bench)}
+	}
+	okAll := true
+	for _, name := range names {
+		start := time.Now()
+		res, err := run(name, cls, *threads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nasrun: %v\n", err)
+			os.Exit(2)
+		}
+		res.Class = cls
+		elapsed := time.Since(start)
+		fmt.Printf("%-60s  %8.3fs  %9.1f Mop/s\n", res.String(), elapsed.Seconds(), mops(name, cls, elapsed))
+		okAll = okAll && res.Verified
+	}
+	if !okAll {
+		os.Exit(1)
+	}
+}
+
+func run(name string, cls npb.Class, threads int) (npb.Result, error) {
+	switch name {
+	case "EP":
+		p, err := npb.EPClass(cls)
+		if err != nil {
+			return npb.Result{}, err
+		}
+		r, _ := npb.RunEP(p, threads)
+		return r, nil
+	case "IS":
+		p, err := npb.ISClass(cls)
+		if err != nil {
+			return npb.Result{}, err
+		}
+		return npb.RunIS(p, threads), nil
+	case "CG":
+		p, err := npb.CGClass(cls)
+		if err != nil {
+			return npb.Result{}, err
+		}
+		r, _ := npb.RunCG(p, threads)
+		return r, nil
+	case "MG":
+		p, err := npb.MGClass(cls)
+		if err != nil {
+			return npb.Result{}, err
+		}
+		r, _ := npb.RunMG(p, threads)
+		return r, nil
+	case "FT":
+		p, err := npb.FTClass(cls)
+		if err != nil {
+			return npb.Result{}, err
+		}
+		r, _ := npb.RunFT(p, threads)
+		return r, nil
+	case "BT":
+		p, err := npb.AppClass(cls)
+		if err != nil {
+			return npb.Result{}, err
+		}
+		r, _ := npb.RunBT(p, threads)
+		return r, nil
+	case "SP":
+		p, err := npb.AppClass(cls)
+		if err != nil {
+			return npb.Result{}, err
+		}
+		r, _ := npb.RunSP(p, threads)
+		return r, nil
+	case "LU":
+		p, err := npb.AppClass(cls)
+		if err != nil {
+			return npb.Result{}, err
+		}
+		r, _ := npb.RunLU(p, threads)
+		return r, nil
+	}
+	return npb.Result{}, fmt.Errorf("unknown benchmark %q", name)
+}
+
+// mops computes the benchmark's nominal Mop/s for the footer.
+func mops(name string, cls npb.Class, elapsed time.Duration) float64 {
+	switch name {
+	case "EP":
+		p, _ := npb.EPClass(cls)
+		return npb.Mops(npb.EPOps(p), elapsed)
+	case "IS":
+		p, _ := npb.ISClass(cls)
+		return npb.Mops(npb.ISOps(p), elapsed)
+	case "CG":
+		p, _ := npb.CGClass(cls)
+		return npb.Mops(npb.CGOps(p, 2*p.NonZer*p.NA), elapsed)
+	case "MG":
+		p, _ := npb.MGClass(cls)
+		return npb.Mops(npb.MGOps(p), elapsed)
+	case "FT":
+		p, _ := npb.FTClass(cls)
+		return npb.Mops(npb.FTOps(p), elapsed)
+	case "BT", "SP", "LU":
+		p, _ := npb.AppClass(cls)
+		return npb.Mops(npb.AppOps(p), elapsed)
+	}
+	return 0
+}

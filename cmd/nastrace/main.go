@@ -1,0 +1,122 @@
+// Command nastrace records and replays benchmark instruction traces.
+// Recording captures one thread's synthetic class-B stream to a compact
+// binary file; replaying drives the simulated machine from the file and
+// reports the counters, bit-identical to a live run with the same seed.
+//
+//	nastrace -record cg.xtrc -bench CG -scale 0.1   # capture
+//	nastrace -replay cg.xtrc                        # simulate from the file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xeonomp/internal/counters"
+	"xeonomp/internal/cpu"
+	"xeonomp/internal/machine"
+	"xeonomp/internal/profiles"
+	"xeonomp/internal/trace"
+)
+
+func main() {
+	var (
+		record = flag.String("record", "", "write a trace of -bench to this file")
+		replay = flag.String("replay", "", "replay a trace file on the simulated machine")
+		bench  = flag.String("bench", "CG", "benchmark profile to record")
+		scale  = flag.Float64("scale", 0.1, "instruction-budget scale for recording")
+		seed   = flag.Uint64("seed", 1, "stream seed for recording")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(*record, *bench, *scale, *seed); err != nil {
+			fail(err)
+		}
+	case *replay != "":
+		if err := doReplay(*replay); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(path, bench string, scale float64, seed uint64) error {
+	prof, err := profiles.ByName(bench)
+	if err != nil {
+		return err
+	}
+	layout, err := prof.Layout(1, 1)
+	if err != nil {
+		return err
+	}
+	gen, err := prof.Generator(layout, 0, 1, scale, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := trace.WriteTrace(f, gen)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d instructions of %s (scale %.2f) to %s (%d bytes, %.1f B/instr)\n",
+		n, bench, scale, path, st.Size(), float64(st.Size())/float64(n))
+	return nil
+}
+
+func doReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fs, err := trace.NewFileStream(f)
+	if err != nil {
+		return err
+	}
+	m, err := machine.New(machine.PaxvilleSMP())
+	if err != nil {
+		return err
+	}
+	m.DisableAll()
+	x, err := m.Context(0, 0, 0)
+	if err != nil {
+		return err
+	}
+	x.Enabled = true
+	th := cpu.NewThread("replay", 0, fs, cpu.NewTeam(1))
+	x.Assign(th)
+	x.Prewarm()
+	wall, err := m.Run(0)
+	if err != nil {
+		return err
+	}
+	if fs.Err() != nil {
+		return fs.Err()
+	}
+	mtr := counters.Derive(&th.Counters)
+	fmt.Printf("replayed %s: %d instructions in %d cycles\n",
+		path, th.Counters.Get(counters.Instructions), wall)
+	fmt.Printf("  CPI %.2f, L1 miss %.3f, L2 miss %.3f, BP %.1f%%, stall %.1f%%\n",
+		mtr.CPI, mtr.L1MissRate, mtr.L2MissRate, mtr.BranchPredRate, mtr.StalledPct)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nastrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,323 @@
+// Command xeonchar regenerates the paper's tables and figures on the
+// simulated two-way dual-core Hyper-Threaded Xeon SMP.
+//
+// Usage:
+//
+//	xeonchar -all                 # everything (Table 1/2, Figures 2-5, Section 3)
+//	xeonchar -fig 3               # one figure (2, 3, 4 or 5)
+//	xeonchar -table 2             # one table (1 or 2)
+//	xeonchar -lmbench             # the Section 3 LMbench calibration
+//	xeonchar -scale 0.25 -fig 2   # quicker, smaller instruction budgets
+//	xeonchar -csv -fig 3          # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/core"
+	"xeonomp/internal/lmbench"
+	"xeonomp/internal/machine"
+	"xeonomp/internal/profiles"
+	"xeonomp/internal/report"
+	"xeonomp/internal/sched"
+	"xeonomp/internal/stats"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure to regenerate (2, 3, 4, 5)")
+		table   = flag.Int("table", 0, "table to regenerate (1, 2)")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		lmb     = flag.Bool("lmbench", false, "run the Section 3 LMbench calibration")
+		scale   = flag.Float64("scale", 1.0, "instruction-budget scale factor")
+		seed    = flag.Uint64("seed", 1, "workload seed (trial number)")
+		policy  = flag.String("policy", "alternate", "thread placement: alternate, block, round-robin, symbiotic")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outdir  = flag.String("outdir", "", "also write each table as a CSV file into this directory")
+		svgdir  = flag.String("svgdir", "", "also render Figures 3 and 5 as SVG into this directory")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers for the studies")
+		jsonOut = flag.String("json", "", "write the single-program study as JSON to this file")
+		machCfg = flag.String("machine", "", "load the platform from a JSON machine config (see machine.Config.WriteJSON)")
+		warmup  = flag.Float64("warmup", 0.35, "fraction of the run excluded from counters")
+		phases  = flag.String("phases", "", "print a VTune-style phase time series for the named benchmark (e.g. CG)")
+		archStr = flag.String("arch", string(config.CMT), "architecture for -phases (Table-1 name, e.g. \"CMT\")")
+	)
+	flag.Parse()
+
+	opt := core.DefaultOptions()
+	opt.Workers = *workers
+	opt.Scale = *scale
+	if *machCfg != "" {
+		f, err := os.Open(*machCfg)
+		if err != nil {
+			fail(err)
+		}
+		mc, err := machine.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		opt.Machine = &mc
+	}
+	opt.Seed = *seed
+	opt.WarmupFrac = *warmup
+	switch *policy {
+	case "alternate":
+		opt.Policy = sched.Alternate
+	case "block":
+		opt.Policy = sched.Block
+	case "round-robin":
+		opt.Policy = sched.RoundRobin
+	case "symbiotic":
+		opt.Policy = sched.Symbiotic
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+		if *outdir != "" {
+			name := sanitize(t.Title) + ".csv"
+			if err := os.WriteFile(filepath.Join(*outdir, name), []byte(t.CSV()), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	if *phases != "" {
+		if err := runPhases(*phases, *archStr, opt, emit); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if !*all && *fig == 0 && *table == 0 && !*lmb {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *all || *lmb {
+		if err := runLmbench(emit); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *table == 1 {
+		emit(core.Table1Report())
+	}
+
+	var single *core.SingleStudy
+	needSingle := *all || *fig == 2 || *fig == 3 || *table == 2 || *jsonOut != ""
+	if needSingle {
+		fmt.Fprintf(os.Stderr, "running single-program study (6 benchmarks x 8 configurations, scale %.2f)...\n", *scale)
+		var err error
+		single, err = core.RunSingleStudy(opt)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *all || *fig == 2 {
+		tables, err := single.Figure2Tables()
+		if err != nil {
+			fail(err)
+		}
+		for _, t := range tables {
+			emit(t)
+		}
+	}
+	if *all || *fig == 3 {
+		t, err := single.Figure3Table()
+		if err != nil {
+			fail(err)
+		}
+		emit(t)
+		if *svgdir != "" {
+			if err := writeFigure3SVG(*svgdir, single); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *all || *table == 2 {
+		t, err := single.Table2Report()
+		if err != nil {
+			fail(err)
+		}
+		emit(t)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := single.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *fig == 4 {
+		fmt.Fprintf(os.Stderr, "running multi-program study (3 workloads x 8 configurations)...\n")
+		pairs, err := core.RunPairStudy(opt)
+		if err != nil {
+			fail(err)
+		}
+		tables, err := pairs.Figure4Tables()
+		if err != nil {
+			fail(err)
+		}
+		for _, t := range tables {
+			emit(t)
+		}
+	}
+	if *all || *fig == 5 {
+		fmt.Fprintf(os.Stderr, "running cross-product study (21 pairs x 7 configurations)...\n")
+		cross, err := core.RunCrossStudy(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(cross.Figure5Plot())
+		if *svgdir != "" {
+			if err := writeFigure5SVG(*svgdir, cross); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+func runLmbench(emit func(*report.Table)) error {
+	m, err := machine.New(machine.PaxvilleSMP())
+	if err != nil {
+		return err
+	}
+	r, err := lmbench.Measure(m)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Section 3 — LMbench calibration (paper targets in parentheses)",
+		"measurement", "simulated", "paper")
+	t.Add("L1 latency", fmt.Sprintf("%.2f ns", r.L1Ns), "1.43 ns")
+	t.Add("L2 latency", fmt.Sprintf("%.2f ns", r.L2Ns), "10.6 ns")
+	t.Add("memory latency", fmt.Sprintf("%.2f ns", r.MemNs), "136.85 ns")
+	t.Add("read bandwidth, 1 chip", fmt.Sprintf("%.2f GB/s", r.ReadBW1/1e9), "3.57 GB/s")
+	t.Add("write bandwidth, 1 chip", fmt.Sprintf("%.2f GB/s", r.WriteBW1/1e9), "1.77 GB/s")
+	t.Add("read bandwidth, 2 chips", fmt.Sprintf("%.2f GB/s", r.ReadBW2/1e9), "4.43 GB/s")
+	t.Add("write bandwidth, 2 chips", fmt.Sprintf("%.2f GB/s", r.WriteBW2/1e9), "2.6 GB/s")
+	emit(t)
+	return nil
+}
+
+// runPhases runs one benchmark with the counter sampler attached and prints
+// the metric time series — the phase behaviour view the paper's VTune
+// methodology produces.
+func runPhases(bench, arch string, opt core.Options, emit func(*report.Table)) error {
+	prof, err := profiles.ByName(bench)
+	if err != nil {
+		return err
+	}
+	cfg, err := config.ByArch(config.Arch(arch))
+	if err != nil {
+		return err
+	}
+	if opt.SampleInterval <= 0 {
+		opt.SampleInterval = 500_000
+	}
+	res, err := core.RunSingle(prof, cfg, opt)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("%s on %s — %d-cycle sampling windows", bench, cfg.Name, opt.SampleInterval),
+		"window", "cycles", "CPI", "L1 miss", "L2 miss", "BP %", "stall %", "pf %")
+	for i, s := range res.Samples {
+		m := s.Metrics()
+		t.AddF(i, s.End-s.Start, m.CPI, m.L1MissRate, m.L2MissRate, m.BranchPredRate, m.StalledPct, m.PrefetchBusPct)
+	}
+	emit(t)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xeonchar:", err)
+	os.Exit(1)
+}
+
+// sanitize turns a table title into a file name.
+func sanitize(title string) string {
+	out := make([]rune, 0, len(title))
+	for _, r := range title {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == '-' || r == '.':
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "table"
+	}
+	if len(out) > 60 {
+		out = out[:60]
+	}
+	return string(out)
+}
+
+// writeFigure3SVG renders the speedup bars as figure3.svg.
+func writeFigure3SVG(dir string, s *core.SingleStudy) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var seriesNames []string
+	for _, c := range s.Configs {
+		if c.Arch != config.Serial {
+			seriesNames = append(seriesNames, c.Name)
+		}
+	}
+	values := make([][]float64, len(s.Benchmarks))
+	for bi, bn := range s.Benchmarks {
+		for _, cn := range seriesNames {
+			v, err := s.Speedup(bn, cn)
+			if err != nil {
+				return err
+			}
+			values[bi] = append(values[bi], v)
+		}
+	}
+	svg, err := report.BarChartSVG("Figure 3 — Speedup over serial", s.Benchmarks, seriesNames, values)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "figure3.svg"), []byte(svg), 0o644)
+}
+
+// writeFigure5SVG renders the cross-product boxes as figure5.svg.
+func writeFigure5SVG(dir string, s *core.CrossStudy) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var labels []string
+	var boxes []stats.BoxPlot
+	for _, cfg := range s.Configs {
+		labels = append(labels, cfg.Name)
+		boxes = append(boxes, s.Boxes[cfg.Name])
+	}
+	svg, err := report.BoxPlotSVG("Figure 5 — Multi-programmed pair speedups", labels, boxes)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "figure5.svg"), []byte(svg), 0o644)
+}

@@ -1,0 +1,17 @@
+// Package xeonomp reproduces "A Comprehensive Analysis of OpenMP
+// Applications on Dual-Core Intel Xeon SMPs" (Grant & Afsahi, IPPS 2007) as
+// a Go library: a cycle-approximate simulator of a two-way dual-core
+// Hyper-Threaded Xeon SMP, an OpenMP-like runtime with functional NAS
+// benchmark implementations, and a characterization framework that
+// regenerates every table and figure of the paper.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate each experiment:
+//
+//	go test -bench=. -benchmem
+//
+// The command-line entry points live under cmd/: xeonchar (all figures and
+// tables), nasrun (functional NAS benchmarks), lmbench (Section 3
+// calibration) and sweep (design-choice ablations).
+package xeonomp

@@ -1,0 +1,82 @@
+// Custommachine: the machine model is not hard-wired to the paper's box.
+// This example builds a hypothetical next-generation platform — one chip
+// with four non-HT cores, 2 MiB L2 per core, and a faster bus — and compares
+// MG's scaling against the Paxville CMP-based SMP, a what-if the paper's
+// conclusions invite.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/core"
+	"xeonomp/internal/machine"
+	"xeonomp/internal/profiles"
+	"xeonomp/internal/units"
+)
+
+func main() {
+	mg, err := profiles.ByName("MG")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Scale = 0.25
+
+	// Baseline: the paper's machine, CMP-based SMP (4 cores over 2 chips).
+	cmpSMP, err := config.ByArch(config.CMPSMP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serial, err := core.SerialBaseline(mg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRes, err := core.RunSingle(mg, cmpSMP, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Custom: one chip, four cores, no HT, 2 MiB L2, 6.4 GB/s bus.
+	custom := machine.PaxvilleSMP()
+	custom.Chips = 1
+	custom.CoresPerChip = 4
+	custom.ContextsPerCore = 1
+	custom.L2.Size = 2 * units.MiB
+	custom.FSBBandwidth = 6.4 * units.GB
+	custom.Mem.ChannelBandwidth = 8.0 * units.GB / 2
+
+	quadCfg := config.Configuration{
+		Name: "quad-core -4-1", Arch: "quad-core CMP", Threads: 4, Chips: 1,
+		Contexts: []config.CtxID{
+			{Chip: 0, Core: 0}, {Chip: 0, Core: 1}, {Chip: 0, Core: 2}, {Chip: 0, Core: 3},
+		},
+	}
+	serialCfg := config.Configuration{
+		Name: "custom serial", Arch: config.Serial, Threads: 1, Chips: 1,
+		Contexts: []config.CtxID{{Chip: 0, Core: 0}},
+	}
+
+	optC := opt
+	optC.Machine = &custom
+	customSerial, err := core.Run(core.Single(mg), serialCfg, optC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	customRes, err := core.Run(core.Single(mg), quadCfg, optC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("MG, 4 threads, two platforms:")
+	fmt.Printf("  Paxville SMP  (%s): speedup %.2fx, L2 miss %.3f, CPI %.2f\n",
+		cmpSMP.Name,
+		core.Speedup(serial.WallCycles, baseRes.WallCycles),
+		baseRes.Programs[0].Metrics.L2MissRate, baseRes.Programs[0].Metrics.CPI)
+	fmt.Printf("  quad-core chip (%s): speedup %.2fx, L2 miss %.3f, CPI %.2f\n",
+		quadCfg.Name,
+		core.Speedup(customSerial.WallCycles, customRes.WallCycles),
+		customRes.Programs[0].Metrics.L2MissRate, customRes.Programs[0].Metrics.CPI)
+	fmt.Println("\n(speedups are each over the same workload run serially on that platform)")
+}

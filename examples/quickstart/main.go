@@ -1,0 +1,56 @@
+// Quickstart: simulate the paper's machine, run the CG workload on a single
+// HT-enabled dual-core chip (the CMT configuration), and print the hardware
+// counters and the speedup over serial — the minimal end-to-end use of the
+// library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/core"
+	"xeonomp/internal/counters"
+	"xeonomp/internal/profiles"
+)
+
+func main() {
+	// 1. Pick a benchmark profile (class-B CG) and a Table-1 configuration.
+	cg, err := profiles.ByName("CG")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmt, err := config.ByArch(config.CMT) // "HT on -4-1": one chip, both cores, HT on
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run it, plus the serial baseline, at a reduced scale for a quick
+	// demonstration.
+	opt := core.DefaultOptions()
+	opt.Scale = 0.25
+
+	serial, err := core.SerialBaseline(cg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.RunSingle(cg, cmt, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Report.
+	p := res.Programs[0]
+	m := p.Metrics
+	fmt.Printf("CG on %s (%s)\n", cmt.Name, cmt.Arch)
+	fmt.Printf("  threads:              %d\n", p.Threads)
+	fmt.Printf("  wall cycles:          %d (serial %d)\n", res.WallCycles, serial.WallCycles)
+	fmt.Printf("  speedup over serial:  %.2fx\n", core.Speedup(serial.WallCycles, res.WallCycles))
+	fmt.Printf("  CPI:                  %.2f\n", m.CPI)
+	fmt.Printf("  L1 / L2 miss rate:    %.3f / %.3f\n", m.L1MissRate, m.L2MissRate)
+	fmt.Printf("  trace cache misses:   %.3f\n", m.TCMissRate)
+	fmt.Printf("  branch prediction:    %.1f%%\n", m.BranchPredRate)
+	fmt.Printf("  stalled cycles:       %.1f%%\n", m.StalledPct)
+	fmt.Printf("  prefetch bus share:   %.1f%%\n", m.PrefetchBusPct)
+	fmt.Printf("  bus transactions:     %d\n", counters.BusTransactions(&p.Counters))
+}

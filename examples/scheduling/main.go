@@ -1,0 +1,62 @@
+// Scheduling: show how thread placement changes multi-program performance
+// on the same hardware configuration — the knob the paper's conclusion says
+// future OS schedulers should exploit. Alternating placement puts one CG
+// and one FT thread on each core (complementary resource use); block
+// placement gives CG one chip and FT the other.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/core"
+	"xeonomp/internal/profiles"
+	"xeonomp/internal/sched"
+)
+
+func main() {
+	cg, err := profiles.ByName("CG")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ft, err := profiles.ByName("FT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := core.Pair(cg, ft)
+
+	cfg, err := config.ByArch(config.CMTSMP) // HT on -8-2: the full machine
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := core.DefaultOptions()
+	opt.Scale = 0.25
+	base := map[string]int64{}
+	for _, p := range w.Programs {
+		s, err := core.SerialBaseline(p, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base[p.Name] = s.WallCycles
+	}
+
+	fmt.Printf("CG/FT on %s under different thread placements:\n\n", cfg.Name)
+	for _, pol := range []sched.Policy{sched.Alternate, sched.Block} {
+		o := opt
+		o.Policy = pol
+		res, err := core.Run(w, cfg, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s wall=%9d cycles", pol, res.WallCycles)
+		for gi, p := range res.Programs {
+			fmt.Printf("  %s %.2fx (CPI %.2f)", p.Benchmark,
+				core.Speedup(base[p.Benchmark], p.Cycles), res.Programs[gi].Metrics.CPI)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nalternate = each core runs one CG and one FT context (complementary)")
+	fmt.Println("block     = CG owns chip 0, FT owns chip 1")
+}

@@ -1,0 +1,3 @@
+module xeonomp
+
+go 1.22

@@ -1,0 +1,270 @@
+package bus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"xeonomp/internal/units"
+)
+
+const testFreq = units.Frequency(2.8 * units.GHz)
+
+func memCfg() MemConfig {
+	return MemConfig{
+		Channels:         2,
+		ChannelBandwidth: 4.43 * units.GB / 2,
+		LatencyNs:        136.85,
+		LineSize:         64,
+		Freq:             testFreq,
+	}
+}
+
+func fsbCfg() FSBConfig {
+	return FSBConfig{Name: "fsb0", Bandwidth: 3.57 * units.GB, LineSize: 64, Freq: testFreq}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := memCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsbCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (MemConfig{}).Validate(); err == nil {
+		t.Error("zero MemConfig should be invalid")
+	}
+	if err := (FSBConfig{}).Validate(); err == nil {
+		t.Error("zero FSBConfig should be invalid")
+	}
+}
+
+func TestUnloadedLatencyMatchesCalibration(t *testing.T) {
+	mem := NewMemory(memCfg())
+	fsb := NewFSB(fsbCfg(), mem)
+	wantCycles := testFreq.Cycles(136.85)
+	if got := fsb.UnloadedLatency(); got != wantCycles {
+		t.Fatalf("unloaded latency %d cycles, want %d", got, wantCycles)
+	}
+	done := fsb.Issue(0, DemandRead)
+	if done != wantCycles {
+		t.Fatalf("first read completes at %d, want %d", done, wantCycles)
+	}
+}
+
+func TestBackToBackReadsSerializeOnFSB(t *testing.T) {
+	mem := NewMemory(memCfg())
+	fsb := NewFSB(fsbCfg(), mem)
+	d1 := fsb.Issue(0, DemandRead)
+	d2 := fsb.Issue(0, DemandRead)
+	if d2 <= d1 {
+		t.Fatalf("second read must finish later: %d vs %d", d2, d1)
+	}
+	// The spacing at saturation is the FSB occupancy (~50 cycles at
+	// 3.57 GB/s and 2.8 GHz).
+	occ := testFreq.OccupancyCycles(64, 3.57*units.GB)
+	if d2-d1 != occ {
+		t.Fatalf("spacing %d, want FSB occupancy %d", d2-d1, occ)
+	}
+}
+
+func TestSaturatedReadBandwidthSingleChip(t *testing.T) {
+	mem := NewMemory(memCfg())
+	fsb := NewFSB(fsbCfg(), mem)
+	const n = 20000
+	var last int64
+	for i := 0; i < n; i++ {
+		if d := fsb.Issue(0, DemandRead); d > last {
+			last = d
+		}
+	}
+	seconds := testFreq.Nanoseconds(last) / 1e9
+	bw := float64(n) * 64 / seconds
+	if math.Abs(bw-3.57e9)/3.57e9 > 0.03 {
+		t.Fatalf("single-chip read bandwidth %.3g, want ~3.57e9", bw)
+	}
+}
+
+func TestSaturatedReadBandwidthDualChip(t *testing.T) {
+	mem := NewMemory(memCfg())
+	f0 := NewFSB(fsbCfg(), mem)
+	f1 := NewFSB(fsbCfg(), mem)
+	const n = 20000
+	var last int64
+	for i := 0; i < n; i++ {
+		f := f0
+		if i%2 == 1 {
+			f = f1
+		}
+		if d := f.Issue(0, DemandRead); d > last {
+			last = d
+		}
+	}
+	seconds := testFreq.Nanoseconds(last) / 1e9
+	bw := float64(n) * 64 / seconds
+	// Two chips are memory-controller bound at 4.43 GB/s.
+	if math.Abs(bw-4.43e9)/4.43e9 > 0.03 {
+		t.Fatalf("dual-chip read bandwidth %.3g, want ~4.43e9", bw)
+	}
+}
+
+func TestQueueDelayGrowsUnderLoad(t *testing.T) {
+	mem := NewMemory(memCfg())
+	fsb := NewFSB(fsbCfg(), mem)
+	if fsb.QueueDelay(0) != 0 {
+		t.Fatal("idle bus must have zero queue delay")
+	}
+	for i := 0; i < 10; i++ {
+		fsb.Issue(0, DemandRead)
+	}
+	if fsb.QueueDelay(0) == 0 {
+		t.Fatal("loaded bus must have queue delay")
+	}
+	// Delay is relative to now.
+	d0 := fsb.QueueDelay(0)
+	d5 := fsb.QueueDelay(5)
+	if d5 != d0-5 {
+		t.Fatalf("queue delay not relative to now: %d vs %d", d0, d5)
+	}
+}
+
+func TestTransactionCounting(t *testing.T) {
+	mem := NewMemory(memCfg())
+	fsb := NewFSB(fsbCfg(), mem)
+	fsb.Issue(0, DemandRead)
+	fsb.Issue(0, DemandRead)
+	fsb.Issue(0, RFO)
+	fsb.Issue(0, Writeback)
+	fsb.Issue(0, Prefetch)
+	if fsb.Transactions(DemandRead) != 2 || fsb.Transactions(RFO) != 1 ||
+		fsb.Transactions(Writeback) != 1 || fsb.Transactions(Prefetch) != 1 {
+		t.Fatal("per-type transaction counts wrong")
+	}
+	if fsb.TotalTransactions() != 5 {
+		t.Fatalf("total = %d", fsb.TotalTransactions())
+	}
+}
+
+func TestMemoryByteAccounting(t *testing.T) {
+	mem := NewMemory(memCfg())
+	fsb := NewFSB(fsbCfg(), mem)
+	fsb.Issue(0, DemandRead)
+	fsb.Issue(0, RFO)
+	fsb.Issue(0, Prefetch)
+	fsb.Issue(0, Writeback)
+	if mem.ReadBytes() != 3*64 {
+		t.Fatalf("read bytes = %d", mem.ReadBytes())
+	}
+	if mem.WriteBytes() != 64 {
+		t.Fatalf("write bytes = %d", mem.WriteBytes())
+	}
+}
+
+func TestWritebackCompletesWithoutDRAMLatency(t *testing.T) {
+	mem := NewMemory(memCfg())
+	fsb := NewFSB(fsbCfg(), mem)
+	wb := fsb.Issue(0, Writeback)
+	rd := NewFSB(fsbCfg(), NewMemory(memCfg())).Issue(0, DemandRead)
+	if wb >= rd {
+		t.Fatalf("posted writeback (%d) should complete before a full read (%d)", wb, rd)
+	}
+}
+
+func TestTxnTypeStrings(t *testing.T) {
+	names := map[TxnType]string{
+		DemandRead: "demand_read", RFO: "rfo", Writeback: "writeback", Prefetch: "prefetch",
+	}
+	for k, v := range names {
+		if k.String() != v {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if !DemandRead.IsRead() || Writeback.IsRead() {
+		t.Error("IsRead classification wrong")
+	}
+}
+
+func TestReset(t *testing.T) {
+	mem := NewMemory(memCfg())
+	fsb := NewFSB(fsbCfg(), mem)
+	fsb.Issue(0, DemandRead)
+	fsb.Reset()
+	mem.Reset()
+	if fsb.TotalTransactions() != 0 || fsb.QueueDelay(0) != 0 {
+		t.Fatal("FSB reset incomplete")
+	}
+	if mem.ReadBytes() != 0 || mem.WriteBytes() != 0 {
+		t.Fatal("memory reset incomplete")
+	}
+	// Latency after reset equals a cold start.
+	if fsb.Issue(0, DemandRead) != fsb.UnloadedLatency() {
+		t.Fatal("post-reset latency not cold")
+	}
+}
+
+func TestChannelsBalanced(t *testing.T) {
+	// With two channels, interleaved lines should sustain twice one
+	// channel's bandwidth when the FSB is not the limit.
+	cfg := memCfg()
+	mem := NewMemory(cfg)
+	fat := FSBConfig{Name: "fat", Bandwidth: 100 * units.GB, LineSize: 64, Freq: testFreq}
+	fsb := NewFSB(fat, mem)
+	const n = 10000
+	var last int64
+	for i := 0; i < n; i++ {
+		if d := fsb.Issue(0, DemandRead); d > last {
+			last = d
+		}
+	}
+	seconds := testFreq.Nanoseconds(last) / 1e9
+	bw := float64(n) * 64 / seconds
+	want := float64(cfg.Channels) * cfg.ChannelBandwidth
+	if math.Abs(bw-want)/want > 0.03 {
+		t.Fatalf("channel-bound bandwidth %.3g, want %.3g", bw, want)
+	}
+}
+
+func TestCompletionMonotoneProperty(t *testing.T) {
+	// For non-decreasing issue times on one FSB, read completions are
+	// strictly increasing (the bus serializes) and never precede the
+	// unloaded latency.
+	f := func(gaps []uint8) bool {
+		mem := NewMemory(memCfg())
+		fsb := NewFSB(fsbCfg(), mem)
+		now := int64(0)
+		last := int64(-1)
+		for _, g := range gaps {
+			now += int64(g)
+			done := fsb.Issue(now, DemandRead)
+			if done <= last {
+				return false
+			}
+			if done < now+fsb.UnloadedLatency() {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueDrainsProperty(t *testing.T) {
+	// After enough idle time, the queue delay returns to zero.
+	f := func(n uint8) bool {
+		mem := NewMemory(memCfg())
+		fsb := NewFSB(fsbCfg(), mem)
+		var lastDone int64
+		for i := 0; i < int(n%32)+1; i++ {
+			if d := fsb.Issue(0, DemandRead); d > lastDone {
+				lastDone = d
+			}
+		}
+		return fsb.QueueDelay(lastDone+1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package cache implements the set-associative cache model used for every
+// cache-like structure in the simulated Xeon: the per-core execution trace
+// cache, the 16 KB shared L1 data cache, and the private 1 MB L2. Caches are
+// write-allocate and write-back, with true-LRU replacement within a set.
+//
+// The model is functional, not timed: Lookup and Fill report hits, misses,
+// and evictions, and the pipeline model (internal/cpu) charges the latency.
+// Because both Hyper-Threaded contexts of a core share the same Cache
+// instance, the capacity contention the paper attributes to HT emerges
+// directly from interleaved fills.
+package cache
+
+import (
+	"fmt"
+
+	"xeonomp/internal/units"
+)
+
+// Replacement selects the victim policy within a set.
+type Replacement int
+
+// Replacement policies.
+const (
+	// LRU is true least-recently-used, the model's default. Its cyclic-scan
+	// pathology (a loop over slightly-more-than-capacity misses every time)
+	// is part of the Hyper-Threading contention story.
+	LRU Replacement = iota
+	// Random picks a pseudo-random victim; kept for ablations, since it
+	// degrades gracefully where LRU falls off a cliff.
+	Random
+)
+
+// String names the policy.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "lru"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("replacement(%d)", int(r))
+	}
+}
+
+// Config describes one cache.
+type Config struct {
+	Name     string // for error messages and reports
+	Size     int64  // total capacity in bytes; must be a power of two
+	LineSize int64  // line size in bytes; must be a power of two
+	Assoc    int    // ways per set; Size/LineSize must be divisible by Assoc
+	// Policy selects the replacement policy (default LRU).
+	Policy Replacement
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Size <= 0 || !units.IsPow2(c.Size) {
+		return fmt.Errorf("cache %s: size %d not a positive power of two", c.Name, c.Size)
+	}
+	if c.LineSize <= 0 || !units.IsPow2(c.LineSize) {
+		return fmt.Errorf("cache %s: line size %d not a positive power of two", c.Name, c.LineSize)
+	}
+	if c.LineSize > c.Size {
+		return fmt.Errorf("cache %s: line size %d exceeds size %d", c.Name, c.LineSize, c.Size)
+	}
+	lines := c.Size / c.LineSize
+	if c.Assoc <= 0 || lines%int64(c.Assoc) != 0 {
+		return fmt.Errorf("cache %s: associativity %d does not divide %d lines", c.Name, c.Assoc, lines)
+	}
+	if !units.IsPow2(lines / int64(c.Assoc)) {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, lines/int64(c.Assoc))
+	}
+	if c.Policy != LRU && c.Policy != Random {
+		return fmt.Errorf("cache %s: unknown replacement policy %v", c.Name, c.Policy)
+	}
+	return nil
+}
+
+type way struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool   // filled by the hardware prefetcher, not yet demanded
+	stamp      uint64 // LRU timestamp: larger = more recent
+}
+
+// Cache is one set-associative cache instance.
+type Cache struct {
+	cfg       Config
+	ways      []way // numSets * assoc, set-major
+	numSets   uint64
+	lineShift uint
+	setMask   uint64
+	clock     uint64 // LRU stamp source
+	rand      uint64 // LCG state for Random replacement
+}
+
+// New builds a cache from cfg. It panics on an invalid configuration, since
+// configurations are compile-time constants of the machine model.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := uint64(cfg.Size / cfg.LineSize / int64(cfg.Assoc))
+	return &Cache{
+		cfg:       cfg,
+		ways:      make([]way, numSets*uint64(cfg.Assoc)),
+		numSets:   numSets,
+		lineShift: units.Log2(cfg.LineSize),
+		setMask:   numSets - 1,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return int(c.numSets) }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr >> c.lineShift << c.lineShift
+}
+
+func (c *Cache) set(addr uint64) []way {
+	s := (addr >> c.lineShift) & c.setMask
+	base := s * uint64(c.cfg.Assoc)
+	return c.ways[base : base+uint64(c.cfg.Assoc)]
+}
+
+// LookupResult reports the outcome of a demand access.
+type LookupResult struct {
+	Hit           bool
+	HitPrefetched bool // hit on a line brought in by the prefetcher (first demand touch)
+	WasDirty      bool // the line was already dirty before this access (hits only)
+}
+
+// Lookup performs a demand access to addr. On a hit the line's LRU stamp is
+// refreshed and, for a write, the line is marked dirty. On a miss the cache
+// is unchanged; the caller is expected to resolve the miss and then Fill.
+func (c *Cache) Lookup(addr uint64, write bool) LookupResult {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	c.clock++
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.stamp = c.clock
+			hp := w.prefetched
+			wd := w.dirty
+			w.prefetched = false
+			if write {
+				w.dirty = true
+			}
+			return LookupResult{Hit: true, HitPrefetched: hp, WasDirty: wd}
+		}
+	}
+	return LookupResult{}
+}
+
+// Probe reports whether addr is present without touching LRU state.
+func (c *Cache) Probe(addr uint64) bool {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// FillResult reports what a Fill displaced.
+type FillResult struct {
+	Evicted      bool
+	EvictedDirty bool
+	EvictedAddr  uint64 // line address of the victim, valid when Evicted
+}
+
+// Fill installs the line containing addr, evicting the LRU way if the set is
+// full. write marks the new line dirty; prefetch marks it as a speculative
+// fill. Filling a line that is already present refreshes it in place (and
+// upgrades dirtiness) without eviction.
+func (c *Cache) Fill(addr uint64, write, prefetch bool) FillResult {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	c.clock++
+
+	// Already present: refresh. A demand fill clears the prefetched mark.
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.stamp = c.clock
+			if write {
+				w.dirty = true
+			}
+			if !prefetch {
+				w.prefetched = false
+			}
+			return FillResult{}
+		}
+	}
+
+	// Choose victim: an invalid way if any, else per the policy.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		switch c.cfg.Policy {
+		case Random:
+			c.rand = c.rand*6364136223846793005 + 1442695040888963407
+			victim = int((c.rand >> 33) % uint64(c.cfg.Assoc))
+		default: // LRU
+			victim = 0
+			for i := range set {
+				if set[i].stamp < set[victim].stamp {
+					victim = i
+				}
+			}
+		}
+	}
+	w := &set[victim]
+	res := FillResult{}
+	if w.valid {
+		res.Evicted = true
+		res.EvictedDirty = w.dirty
+		res.EvictedAddr = w.tag << c.lineShift
+	}
+	*w = way{tag: tag, valid: true, dirty: write, prefetched: prefetch, stamp: c.clock}
+	return res
+}
+
+// Invalidate removes the line containing addr if present, reporting whether
+// it was present and dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	tag := addr >> c.lineShift
+	set := c.set(addr)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			present, dirty = true, w.dirty
+			*w = way{}
+			return
+		}
+	}
+	return
+}
+
+// Flush invalidates every line.
+func (c *Cache) Flush() {
+	for i := range c.ways {
+		c.ways[i] = way{}
+	}
+}
+
+// ValidLines returns the number of valid lines, for tests and occupancy
+// reporting.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}

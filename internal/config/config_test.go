@@ -1,0 +1,163 @@
+package config
+
+import (
+	"testing"
+
+	"xeonomp/internal/machine"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("Table 1 has %d rows, want 8", len(rows))
+	}
+	type row struct {
+		name    string
+		arch    Arch
+		ht      bool
+		threads int
+		chips   int
+		ctxs    int
+	}
+	want := []row{
+		{"Serial", Serial, false, 1, 1, 1},
+		{"HT on -2-1", SMT, true, 2, 1, 2},
+		{"HT off -2-1", CMP, false, 2, 1, 2},
+		{"HT on -4-1", CMT, true, 4, 1, 4},
+		{"HT off -2-2", SMP, false, 2, 2, 2},
+		{"HT on -4-2", SMTSMP, true, 4, 2, 4},
+		{"HT off -4-2", CMPSMP, false, 4, 2, 4},
+		{"HT on -8-2", CMTSMP, true, 8, 2, 8},
+	}
+	for i, w := range want {
+		g := rows[i]
+		if g.Name != w.name || g.Arch != w.arch || g.HT != w.ht ||
+			g.Threads != w.threads || g.Chips != w.chips || len(g.Contexts) != w.ctxs {
+			t.Errorf("row %d = %+v, want %+v", i, g, w)
+		}
+		if len(g.Labels) != len(g.Contexts) {
+			t.Errorf("row %d labels/contexts mismatch", i)
+		}
+	}
+}
+
+func TestHTOffRowsUseOnlyThreadZero(t *testing.T) {
+	for _, c := range Table1() {
+		if c.HT {
+			continue
+		}
+		for _, id := range c.Contexts {
+			if id.Thread != 0 {
+				t.Errorf("%s uses context thread %d with HT off", c.Name, id.Thread)
+			}
+		}
+	}
+}
+
+func TestHTOnRowsPairContexts(t *testing.T) {
+	// Every HT-on configuration enables both hardware threads of each core
+	// it touches.
+	for _, c := range Table1() {
+		if !c.HT {
+			continue
+		}
+		type core struct{ chip, core int }
+		threads := map[core]int{}
+		for _, id := range c.Contexts {
+			threads[core{id.Chip, id.Core}]++
+		}
+		for k, n := range threads {
+			if n != 2 {
+				t.Errorf("%s enables %d contexts on chip %d core %d, want 2", c.Name, n, k.chip, k.core)
+			}
+		}
+	}
+}
+
+func TestPaperLabels(t *testing.T) {
+	cmt, err := ByArch(CMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A0", "A1", "A2", "A3"}
+	for i, l := range cmt.Labels {
+		if l != want[i] {
+			t.Fatalf("CMT labels %v, want %v", cmt.Labels, want)
+		}
+	}
+	smtSMP, _ := ByArch(SMTSMP)
+	want = []string{"A0", "A1", "A4", "A5"}
+	for i, l := range smtSMP.Labels {
+		if l != want[i] {
+			t.Fatalf("SMT-SMP labels %v, want %v", smtSMP.Labels, want)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	m, err := machine.New(machine.PaxvilleSMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Table1() {
+		ctxs, err := c.Apply(m)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if len(ctxs) != len(c.Contexts) {
+			t.Fatalf("%s enabled %d contexts, want %d", c.Name, len(ctxs), len(c.Contexts))
+		}
+		if got := len(m.Enabled()); got != len(c.Contexts) {
+			t.Fatalf("%s machine has %d enabled, want %d", c.Name, got, len(c.Contexts))
+		}
+	}
+}
+
+func TestApplyRejectsBadTopology(t *testing.T) {
+	m, _ := machine.New(machine.PaxvilleSMP())
+	bad := Configuration{Name: "bogus", Contexts: []CtxID{{Chip: 9}}}
+	if _, err := bad.Apply(m); err == nil {
+		t.Fatal("bogus context accepted")
+	}
+}
+
+func TestByNameByArch(t *testing.T) {
+	if _, err := ByName("HT on -8-2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := ByArch(CMPSMP); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByArch(Arch("nope")); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestMultithreaded(t *testing.T) {
+	ms := Multithreaded()
+	if len(ms) != 7 {
+		t.Fatalf("%d multithreaded configs, want 7", len(ms))
+	}
+	for _, c := range ms {
+		if c.Arch == Serial {
+			t.Fatal("serial included in multithreaded set")
+		}
+	}
+}
+
+func TestGroups(t *testing.T) {
+	g := Groups()
+	if len(g) != 4 {
+		t.Fatalf("%d groups, want 4", len(g))
+	}
+	// Group 2 compares HT on/off on one chip; group 4 at full load.
+	if g[2][0] != CMP || g[2][1] != CMT {
+		t.Errorf("group 2 = %v", g[2])
+	}
+	if g[4][0] != CMPSMP || g[4][1] != CMTSMP {
+		t.Errorf("group 4 = %v", g[4])
+	}
+}

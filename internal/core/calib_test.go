@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/counters"
+	"xeonomp/internal/profiles"
+)
+
+// TestCalibration prints the calibration dashboard used to tune profiles.
+// Run with XEONOMP_CALIB=1 to enable.
+func TestCalibration(t *testing.T) {
+	if os.Getenv("XEONOMP_CALIB") == "" {
+		t.Skip("set XEONOMP_CALIB=1 to run the calibration dashboard")
+	}
+	opt := DefaultOptions()
+	opt.Scale = 0.5
+	freq := 2.8e9
+	cfgs := config.Table1()
+	for _, name := range profiles.StudiedNames() {
+		p, _ := profiles.ByName(name)
+		base, err := RunSingle(p, cfgs[0], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := base.Programs[0]
+		m := pr.Metrics
+		cyc := float64(pr.Counters.Get(counters.Cycles))
+		bytes := float64(pr.Counters.Get(counters.MemReadBytes) + pr.Counters.Get(counters.MemWriteBytes))
+		bw := bytes / (cyc / freq) / 1e9
+		fmt.Printf("%-3s serial CPI=%.2f L1=%.3f L2=%.3f TC=%.3f BP=%.1f stall=%.1f pf=%.1f BW=%.2fGB/s | spdup:", name, m.CPI, m.L1MissRate, m.L2MissRate, m.TCMissRate, m.BranchPredRate, m.StalledPct, m.PrefetchBusPct, bw)
+		for _, cfg := range cfgs[1:] {
+			r, err := RunSingle(p, cfg, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp := r.Programs[0]
+			rb := float64(rp.Counters.Get(counters.MemReadBytes)+rp.Counters.Get(counters.MemWriteBytes)) /
+				(float64(rp.Counters.Get(counters.Cycles)) / float64(r.Programs[0].Threads) / freq) / 1e9
+			fmt.Printf(" %.2f(%.1fG,L2 %.2f,bp %.0f)", float64(base.WallCycles)/float64(r.WallCycles), rb, rp.Metrics.L2MissRate, rp.Metrics.BranchPredRate)
+		}
+		fmt.Println()
+	}
+	fmt.Println("order: SMT CMP CMT SMP SMT-SMP CMP-SMP CMT-SMP")
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/counters"
+	"xeonomp/internal/profiles"
+	"xeonomp/internal/sched"
+)
+
+// quickOptions keeps unit-test runs fast; shape assertions use testOptions.
+func quickOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 0.02
+	return o
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := DefaultOptions()
+	bad.Scale = 0
+	cg, _ := profiles.ByName("CG")
+	serial, _ := config.ByArch(config.Serial)
+	if _, err := RunSingle(cg, serial, bad); err == nil {
+		t.Error("zero scale accepted")
+	}
+	bad = DefaultOptions()
+	bad.WarmupFrac = 1.0
+	if _, err := RunSingle(cg, serial, bad); err == nil {
+		t.Error("warmup fraction 1.0 accepted")
+	}
+	if _, err := Run(Workload{}, serial, DefaultOptions()); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestWorkloadName(t *testing.T) {
+	cg, _ := profiles.ByName("CG")
+	ft, _ := profiles.ByName("FT")
+	if Single(cg).Name() != "CG" {
+		t.Error("single name wrong")
+	}
+	if Pair(cg, ft).Name() != "CG/FT" {
+		t.Error("pair name wrong")
+	}
+}
+
+func TestThreadsPerProgram(t *testing.T) {
+	cmtSMP, _ := config.ByArch(config.CMTSMP)
+	serial, _ := config.ByArch(config.Serial)
+	if threadsPerProgram(cmtSMP, 1) != 8 {
+		t.Error("single program should use the configuration thread count")
+	}
+	if threadsPerProgram(cmtSMP, 2) != 4 {
+		t.Error("pair should split contexts evenly")
+	}
+	if threadsPerProgram(serial, 2) != 1 {
+		t.Error("serial pair should clamp to one thread each")
+	}
+}
+
+func TestRunSingleOnEveryConfiguration(t *testing.T) {
+	cg, _ := profiles.ByName("CG")
+	opt := quickOptions()
+	for _, cfg := range config.Table1() {
+		res, err := RunSingle(cg, cfg, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if res.WallCycles <= 0 {
+			t.Fatalf("%s: no cycles", cfg.Name)
+		}
+		p := res.Programs[0]
+		if p.Threads != cfg.Threads {
+			t.Fatalf("%s: threads %d, want %d", cfg.Name, p.Threads, cfg.Threads)
+		}
+		if p.Counters.Get(counters.Instructions) == 0 {
+			t.Fatalf("%s: no instructions retired", cfg.Name)
+		}
+		if p.Metrics.CPI <= 0 {
+			t.Fatalf("%s: CPI %v", cfg.Name, p.Metrics.CPI)
+		}
+		if p.Cycles <= 0 || p.Cycles > res.WallCycles {
+			t.Fatalf("%s: program cycles %d outside wall %d", cfg.Name, p.Cycles, res.WallCycles)
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	mg, _ := profiles.ByName("MG")
+	cmt, _ := config.ByArch(config.CMT)
+	opt := quickOptions()
+	r1, err := RunSingle(mg, cmt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSingle(mg, cmt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.WallCycles != r2.WallCycles {
+		t.Fatalf("non-deterministic: %d vs %d", r1.WallCycles, r2.WallCycles)
+	}
+	if r1.Programs[0].Counters != r2.Programs[0].Counters {
+		t.Fatal("counters differ between identical runs")
+	}
+}
+
+func TestDifferentSeedsAreIndependentTrials(t *testing.T) {
+	mg, _ := profiles.ByName("MG")
+	cmt, _ := config.ByArch(config.CMT)
+	o1 := quickOptions()
+	o2 := quickOptions()
+	o2.Seed = 99
+	r1, _ := RunSingle(mg, cmt, o1)
+	r2, _ := RunSingle(mg, cmt, o2)
+	if r1.WallCycles == r2.WallCycles {
+		t.Fatal("different seeds produced identical wall clocks (suspicious)")
+	}
+}
+
+func TestRunPairSplitsThreads(t *testing.T) {
+	cg, _ := profiles.ByName("CG")
+	ft, _ := profiles.ByName("FT")
+	cmpSMP, _ := config.ByArch(config.CMPSMP)
+	res, err := Run(Pair(cg, ft), cmpSMP, quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Programs) != 2 {
+		t.Fatal("pair run missing programs")
+	}
+	for _, p := range res.Programs {
+		if p.Threads != 2 {
+			t.Fatalf("program %s threads %d, want 2", p.Benchmark, p.Threads)
+		}
+		if p.Counters.Get(counters.Instructions) == 0 {
+			t.Fatalf("program %s retired nothing", p.Benchmark)
+		}
+	}
+}
+
+func TestRunPairOnSerialTimeslices(t *testing.T) {
+	// Two programs, one logical CPU: the Linux-scheduler model must
+	// time-slice and both must finish.
+	cg, _ := profiles.ByName("CG")
+	ft, _ := profiles.ByName("FT")
+	serial, _ := config.ByArch(config.Serial)
+	res, err := Run(Pair(cg, ft), serial, quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Programs {
+		if p.Cycles == 0 {
+			t.Fatalf("program %s never finished", p.Benchmark)
+		}
+	}
+	// Serialization: the wall clock must exceed either program alone.
+	solo, err := RunSingle(cg, serial, quickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles <= solo.WallCycles {
+		t.Fatal("time-sliced pair not slower than one program alone")
+	}
+}
+
+func TestSerialBaselineAndSpeedup(t *testing.T) {
+	lu, _ := profiles.ByName("LU")
+	opt := quickOptions()
+	base, err := SerialBaseline(lu, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpSMP, _ := config.ByArch(config.CMPSMP)
+	res, err := RunSingle(lu, cmpSMP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Speedup(base.WallCycles, res.WallCycles)
+	if sp <= 1.0 {
+		t.Fatalf("CMP-based SMP speedup %v, want > 1", sp)
+	}
+	if Speedup(100, 0) != 0 {
+		t.Fatal("zero-cycle speedup should be 0")
+	}
+}
+
+func TestPlacementPolicyChangesOutcome(t *testing.T) {
+	cg, _ := profiles.ByName("CG")
+	ft, _ := profiles.ByName("FT")
+	cmtSMP, _ := config.ByArch(config.CMTSMP)
+	alt := quickOptions()
+	alt.Policy = sched.Alternate
+	blk := quickOptions()
+	blk.Policy = sched.Block
+	r1, err := Run(Pair(cg, ft), cmtSMP, alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Pair(cg, ft), cmtSMP, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.WallCycles == r2.WallCycles {
+		t.Fatal("placement policy had no effect at all (suspicious)")
+	}
+}
+
+func TestCrossPairs(t *testing.T) {
+	pairs, err := CrossPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 21 { // C(6,2) + 6 identical pairs
+		t.Fatalf("%d pairs, want 21", len(pairs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		key := p[0] + "/" + p[1]
+		if seen[key] {
+			t.Fatalf("duplicate pair %s", key)
+		}
+		seen[key] = true
+		if strings.Compare(p[0], p[1]) > 0 {
+			t.Fatalf("pair %s not ordered", key)
+		}
+	}
+}
+
+func TestCustomMachineOption(t *testing.T) {
+	cg, _ := profiles.ByName("CG")
+	serial, _ := config.ByArch(config.Serial)
+	opt := quickOptions()
+	mc := opt.machineConfig()
+	mc.L2.Size *= 2
+	opt.Machine = &mc
+	if _, err := RunSingle(cg, serial, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	out := Table1Report().String()
+	for _, want := range []string{"HT on -8-2", "CMT-based SMP", "A7", "B3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRetiredInstructionsInvariantAcrossConfigs(t *testing.T) {
+	// The same workload retires (almost exactly) the same instruction
+	// count on every configuration — only the cycles differ. Chunk-count
+	// rounding with per-thread budgets allows a small tolerance.
+	cg, _ := profiles.ByName("CG")
+	opt := quickOptions()
+	opt.WarmupFrac = 0 // count everything
+	var ref uint64
+	for _, cfg := range config.Table1() {
+		res, err := RunSingle(cg, cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Programs[0].Counters.Get(counters.Instructions)
+		if ref == 0 {
+			ref = got
+			continue
+		}
+		lo := ref - ref/20
+		hi := ref + ref/20
+		if got < lo || got > hi {
+			t.Errorf("%s retired %d, serial retired %d (>5%% apart)", cfg.Name, got, ref)
+		}
+	}
+}
+
+func TestSamplingThroughCore(t *testing.T) {
+	cg, _ := profiles.ByName("CG")
+	cmt, _ := config.ByArch(config.CMT)
+	opt := quickOptions()
+	opt.SampleInterval = 50_000
+	res, err := RunSingle(cg, cmt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples collected through core")
+	}
+	for _, s := range res.Samples {
+		if s.End <= s.Start {
+			t.Fatal("malformed sample window")
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/profiles"
+	"xeonomp/internal/stats"
+)
+
+// forEachJob runs fn over 0..n-1 with the given worker count (<=1 means
+// sequential). The first error wins; all workers drain before returning.
+// Every run uses its own Machine, so parallel execution cannot change
+// results — TestStudiesWorkerInvariant pins that.
+func forEachJob(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// CellKey addresses one (benchmark, configuration) cell of a study.
+type CellKey struct {
+	Benchmark string
+	Config    string
+}
+
+// SingleStudy holds the single-program experiment behind Figure 2 (counter
+// metrics), Figure 3 (speedups) and Table 2 (average speedup per
+// architecture).
+type SingleStudy struct {
+	Benchmarks []string
+	Configs    []config.Configuration
+	Results    map[CellKey]*RunResult
+	Baselines  map[string]int64 // serial wall cycles per benchmark
+	DTLBSerial map[string]float64
+}
+
+// RunSingleStudy executes every studied benchmark under every Table-1
+// configuration.
+func RunSingleStudy(opt Options) (*SingleStudy, error) {
+	s := &SingleStudy{
+		Benchmarks: profiles.StudiedNames(),
+		Configs:    config.Table1(),
+		Results:    map[CellKey]*RunResult{},
+		Baselines:  map[string]int64{},
+		DTLBSerial: map[string]float64{},
+	}
+	type job struct {
+		bench string
+		cfg   config.Configuration
+	}
+	var jobs []job
+	for _, bn := range s.Benchmarks {
+		for _, cfg := range s.Configs {
+			jobs = append(jobs, job{bn, cfg})
+		}
+	}
+	var mu sync.Mutex
+	err := forEachJob(len(jobs), opt.Workers, func(i int) error {
+		j := jobs[i]
+		prof, err := profiles.ByName(j.bench)
+		if err != nil {
+			return err
+		}
+		res, err := RunSingle(prof, j.cfg, opt)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		s.Results[CellKey{j.bench, j.cfg.Name}] = res
+		if j.cfg.Arch == config.Serial {
+			s.Baselines[j.bench] = res.WallCycles
+			s.DTLBSerial[j.bench] = res.Programs[0].Metrics.DTLBMisses
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Result returns the run for (benchmark, configuration name).
+func (s *SingleStudy) Result(bench, cfgName string) (*RunResult, error) {
+	r, ok := s.Results[CellKey{bench, cfgName}]
+	if !ok {
+		return nil, fmt.Errorf("core: no result for %s on %s", bench, cfgName)
+	}
+	return r, nil
+}
+
+// Speedup returns benchmark bench's speedup over serial on cfgName
+// (Figure 3).
+func (s *SingleStudy) Speedup(bench, cfgName string) (float64, error) {
+	r, err := s.Result(bench, cfgName)
+	if err != nil {
+		return 0, err
+	}
+	base, ok := s.Baselines[bench]
+	if !ok {
+		return 0, fmt.Errorf("core: no serial baseline for %s", bench)
+	}
+	return Speedup(base, r.WallCycles), nil
+}
+
+// DTLBNormalized returns the benchmark's DTLB load+store misses on cfgName
+// normalized to its serial run (the Figure-2 DTLB panel).
+func (s *SingleStudy) DTLBNormalized(bench, cfgName string) (float64, error) {
+	r, err := s.Result(bench, cfgName)
+	if err != nil {
+		return 0, err
+	}
+	base := s.DTLBSerial[bench]
+	return stats.Ratio(r.Programs[0].Metrics.DTLBMisses, base), nil
+}
+
+// Table2 returns the average speedup across all studied benchmarks for each
+// multithreaded architecture, keyed by architecture, plus the ordered
+// architecture list (Table 2 of the paper).
+func (s *SingleStudy) Table2() ([]config.Arch, map[config.Arch]float64, error) {
+	var archs []config.Arch
+	avg := map[config.Arch]float64{}
+	for _, cfg := range s.Configs {
+		if cfg.Arch == config.Serial {
+			continue
+		}
+		var sp []float64
+		for _, bn := range s.Benchmarks {
+			v, err := s.Speedup(bn, cfg.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			sp = append(sp, v)
+		}
+		archs = append(archs, cfg.Arch)
+		avg[cfg.Arch] = stats.Mean(sp)
+	}
+	return archs, avg, nil
+}
+
+// PairStudy is the fixed-pair multi-program experiment behind Figure 4:
+// CG/FT (complementary), FT/FT and CG/CG (identical pairs).
+type PairStudy struct {
+	Workloads []Workload
+	Configs   []config.Configuration
+	// Results[workloadName][cfgName] is the pair run.
+	Results   map[string]map[string]*RunResult
+	Baselines map[string]int64
+}
+
+// Figure4Workloads returns the paper's three multi-program workloads.
+func Figure4Workloads() ([]Workload, error) {
+	cg, err := profiles.ByName("CG")
+	if err != nil {
+		return nil, err
+	}
+	ft, err := profiles.ByName("FT")
+	if err != nil {
+		return nil, err
+	}
+	return []Workload{Pair(cg, ft), Pair(ft, ft), Pair(cg, cg)}, nil
+}
+
+// RunPairStudy executes the Figure-4 workloads under every configuration.
+func RunPairStudy(opt Options) (*PairStudy, error) {
+	wls, err := Figure4Workloads()
+	if err != nil {
+		return nil, err
+	}
+	s := &PairStudy{
+		Workloads: wls,
+		Configs:   config.Table1(),
+		Results:   map[string]map[string]*RunResult{},
+		Baselines: map[string]int64{},
+	}
+	for _, w := range wls {
+		s.Results[w.Name()] = map[string]*RunResult{}
+		for _, p := range w.Programs {
+			if _, ok := s.Baselines[p.Name]; !ok {
+				base, err := SerialBaseline(p, opt)
+				if err != nil {
+					return nil, err
+				}
+				s.Baselines[p.Name] = base.WallCycles
+			}
+		}
+		for _, cfg := range s.Configs {
+			res, err := Run(w, cfg, opt)
+			if err != nil {
+				return nil, err
+			}
+			s.Results[w.Name()][cfg.Name] = res
+		}
+	}
+	return s, nil
+}
+
+// ProgramSpeedup returns program pi's speedup over its dedicated serial run
+// within workload wl on configuration cfgName.
+func (s *PairStudy) ProgramSpeedup(wl Workload, pi int, cfgName string) (float64, error) {
+	res, ok := s.Results[wl.Name()][cfgName]
+	if !ok {
+		return 0, fmt.Errorf("core: no pair result for %s on %s", wl.Name(), cfgName)
+	}
+	if pi < 0 || pi >= len(res.Programs) {
+		return 0, fmt.Errorf("core: program index %d", pi)
+	}
+	base, ok := s.Baselines[res.Programs[pi].Benchmark]
+	if !ok {
+		return 0, fmt.Errorf("core: no baseline for %s", res.Programs[pi].Benchmark)
+	}
+	return Speedup(base, res.Programs[pi].Cycles), nil
+}
+
+// CrossStudy is the all-pairs experiment behind Figure 5: every unordered
+// pair of studied benchmarks (including identical pairs) on every
+// multithreaded configuration, summarized as a box plot of per-program
+// speedups per configuration.
+type CrossStudy struct {
+	Configs []config.Configuration
+	// Samples[cfgName] holds one speedup per program instance per pair.
+	Samples map[string][]float64
+	Boxes   map[string]stats.BoxPlot
+	// PairSpeedups[cfgName][pairName] lists the two program speedups.
+	PairSpeedups map[string]map[string][]float64
+}
+
+// CrossPairs returns the unordered benchmark pairs (with replacement) of
+// the studied set, in deterministic order.
+func CrossPairs() ([][2]string, error) {
+	names := profiles.StudiedNames()
+	sort.Strings(names)
+	var out [][2]string
+	for i := 0; i < len(names); i++ {
+		for j := i; j < len(names); j++ {
+			out = append(out, [2]string{names[i], names[j]})
+		}
+	}
+	return out, nil
+}
+
+// RunCrossStudy executes the full cross-product.
+func RunCrossStudy(opt Options) (*CrossStudy, error) {
+	pairs, err := CrossPairs()
+	if err != nil {
+		return nil, err
+	}
+	s := &CrossStudy{
+		Configs:      config.Multithreaded(),
+		Samples:      map[string][]float64{},
+		Boxes:        map[string]stats.BoxPlot{},
+		PairSpeedups: map[string]map[string][]float64{},
+	}
+	baselines := map[string]int64{}
+	for _, name := range profiles.StudiedNames() {
+		p, err := profiles.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := SerialBaseline(p, opt)
+		if err != nil {
+			return nil, err
+		}
+		baselines[name] = base.WallCycles
+	}
+
+	type job struct {
+		cfg  config.Configuration
+		pair [2]string
+	}
+	var jobs []job
+	for _, cfg := range s.Configs {
+		s.PairSpeedups[cfg.Name] = map[string][]float64{}
+		for _, pr := range pairs {
+			jobs = append(jobs, job{cfg, pr})
+		}
+	}
+	var mu sync.Mutex
+	err = forEachJob(len(jobs), opt.Workers, func(i int) error {
+		j := jobs[i]
+		a, err := profiles.ByName(j.pair[0])
+		if err != nil {
+			return err
+		}
+		b, err := profiles.ByName(j.pair[1])
+		if err != nil {
+			return err
+		}
+		res, err := Run(Pair(a, b), j.cfg, opt)
+		if err != nil {
+			return err
+		}
+		var sp []float64
+		for _, p := range res.Programs {
+			sp = append(sp, Speedup(baselines[p.Benchmark], p.Cycles))
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		s.PairSpeedups[j.cfg.Name][j.pair[0]+"/"+j.pair[1]] = sp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic sample order: pairs in CrossPairs order per config.
+	for _, cfg := range s.Configs {
+		for _, pr := range pairs {
+			s.Samples[cfg.Name] = append(s.Samples[cfg.Name], s.PairSpeedups[cfg.Name][pr[0]+"/"+pr[1]]...)
+		}
+		box, err := stats.Box(s.Samples[cfg.Name])
+		if err != nil {
+			return nil, err
+		}
+		s.Boxes[cfg.Name] = box
+	}
+	return s, nil
+}

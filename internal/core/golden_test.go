@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/counters"
+	"xeonomp/internal/stats"
+)
+
+// fabricatedStudy builds a SingleStudy with hand-written counter values so
+// the rendering layer can be tested without running the simulator.
+func fabricatedStudy() *SingleStudy {
+	benches := []string{"XX", "YY"}
+	cfgs := config.Table1()
+	s := &SingleStudy{
+		Benchmarks: benches,
+		Configs:    cfgs,
+		Results:    map[CellKey]*RunResult{},
+		Baselines:  map[string]int64{},
+		DTLBSerial: map[string]float64{},
+	}
+	for bi, bn := range benches {
+		for ci, cfg := range cfgs {
+			var set counters.Set
+			set.Add(counters.Cycles, uint64(1000*(ci+1)))
+			set.Add(counters.Instructions, 500)
+			set.Add(counters.StallCycles, uint64(100*(ci+1)))
+			set.Add(counters.L1DAccess, 100)
+			set.Add(counters.L1DMiss, uint64(5+bi))
+			set.Add(counters.L2Access, 10)
+			set.Add(counters.L2Miss, uint64(2+ci))
+			set.Add(counters.TCAccess, 50)
+			set.Add(counters.TCMiss, 5)
+			set.Add(counters.ITLBAccess, 1000)
+			set.Add(counters.ITLBMiss, uint64(ci))
+			set.Add(counters.DTLBAccess, 200)
+			set.Add(counters.DTLBMiss, uint64(4*(ci+1)))
+			set.Add(counters.BranchRetired, 50)
+			set.Add(counters.BranchMispredicted, uint64(1+bi))
+			set.Add(counters.BusDemandRead, 8)
+			set.Add(counters.BusPrefetch, 2)
+			res := &RunResult{
+				Config:     cfg,
+				WallCycles: int64(10000 / (ci + 1)), // speedup grows with config index
+				Programs: []ProgramResult{{
+					Benchmark: bn,
+					Threads:   cfg.Threads,
+					Cycles:    int64(10000 / (ci + 1)),
+					Counters:  set,
+					Metrics:   counters.Derive(&set),
+				}},
+			}
+			s.Results[CellKey{bn, cfg.Name}] = res
+			if cfg.Arch == config.Serial {
+				s.Baselines[bn] = res.WallCycles
+				s.DTLBSerial[bn] = res.Programs[0].Metrics.DTLBMisses
+			}
+		}
+	}
+	return s
+}
+
+func TestGoldenFigure3FromFabricatedData(t *testing.T) {
+	s := fabricatedStudy()
+	tb, err := s.Figure3Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	// The wall clocks are 10000/(ci+1): speedup over serial for the last
+	// configuration (index 7) is exactly 8.000.
+	if !strings.Contains(out, "8.000") {
+		t.Fatalf("expected 8.000 speedup in:\n%s", out)
+	}
+	if !strings.Contains(out, "XX") || !strings.Contains(out, "YY") {
+		t.Fatalf("benchmarks missing in:\n%s", out)
+	}
+}
+
+func TestGoldenTable2FromFabricatedData(t *testing.T) {
+	s := fabricatedStudy()
+	archs, avg, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(archs) != 7 {
+		t.Fatalf("%d architectures", len(archs))
+	}
+	// Both benchmarks have identical wall clocks, so the average equals
+	// the per-benchmark speedup: config index + 1.
+	if got := avg[config.CMTSMP]; got != 8 {
+		t.Fatalf("CMT-SMP average = %v, want 8", got)
+	}
+	if got := avg[config.SMT]; got != 2 {
+		t.Fatalf("SMT average = %v, want 2", got)
+	}
+}
+
+func TestGoldenDTLBNormalization(t *testing.T) {
+	s := fabricatedStudy()
+	// DTLB misses are 4*(ci+1); normalized to serial (ci=0) gives ci+1.
+	v, err := s.DTLBNormalized("XX", "HT on -8-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 8 {
+		t.Fatalf("DTLB normalization = %v, want 8", v)
+	}
+}
+
+func TestGoldenFigure2ITLBPrecision(t *testing.T) {
+	s := fabricatedStudy()
+	tables, err := s.Figure2Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Panel 4 is the ITLB panel; with 1000 accesses and ci misses, the
+	// serial column is 0.00000 and the last is 0.00700 — the extra
+	// precision must be present.
+	itlb := tables[3].String()
+	if !strings.Contains(itlb, "0.00700") {
+		t.Fatalf("ITLB panel lost precision:\n%s", itlb)
+	}
+}
+
+func TestGoldenFigure5FromFabricatedBoxes(t *testing.T) {
+	cs := &CrossStudy{
+		Configs: config.Multithreaded(),
+		Boxes:   map[string]stats.BoxPlot{},
+		Samples: map[string][]float64{},
+	}
+	for i, cfg := range cs.Configs {
+		base := float64(i + 1)
+		cs.Boxes[cfg.Name] = stats.BoxPlot{
+			Min: base, Q1: base + 0.2, Median: base + 0.5, Q3: base + 0.8, Max: base + 1, N: 42,
+		}
+	}
+	out := cs.Figure5Plot()
+	for _, cfg := range cs.Configs {
+		if !strings.Contains(out, cfg.Name) {
+			t.Fatalf("missing %s in plot:\n%s", cfg.Name, out)
+		}
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("plot missing median markers")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/profiles"
+)
+
+// TestProbe is a calibration probe driven by env vars (XEONOMP_PROBE=1).
+func TestProbe(t *testing.T) {
+	if os.Getenv("XEONOMP_PROBE") == "" {
+		t.Skip("probe disabled")
+	}
+	opt := DefaultOptions()
+	fmt.Sscanf(os.Getenv("XEONOMP_PROBE_SCALE"), "%g", &opt.Scale)
+	if opt.Scale == 0 {
+		opt.Scale = 1.0
+	}
+	var warmKiB uint64
+	fmt.Sscanf(os.Getenv("XEONOMP_PROBE_FTWARM"), "%d", &warmKiB)
+
+	ft, _ := profiles.ByName("FT")
+	cg, _ := profiles.ByName("CG")
+	if warmKiB > 0 {
+		ft.Params.WarmBytes = warmKiB * 1024
+	}
+	serialFT, err := SerialBaseline(ft, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialCG, err := SerialBaseline(cg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpSMP, _ := config.ByArch(config.CMPSMP)
+	cmtSMP, _ := config.ByArch(config.CMTSMP)
+	cmt, _ := config.ByArch(config.CMT)
+	r4, err := RunSingle(ft, cmpSMP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := RunSingle(ft, cmtSMP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("FT warm=%dKiB scale=%.2f: -4-2 %.3f  -8-2 %.3f  ratio %.3f\n",
+		warmKiB, opt.Scale,
+		Speedup(serialFT.WallCycles, r4.WallCycles),
+		Speedup(serialFT.WallCycles, r8.WallCycles),
+		float64(r4.WallCycles)/float64(r8.WallCycles))
+	// Pair check at CMT: FT with CG vs FT with FT.
+	mixed, err := Run(Workload{Programs: []profiles.Profile{cg, ft}}, cmt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Run(Workload{Programs: []profiles.Profile{ft, ft}}, cmt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("  pair@CMT: FT w/CG %.3f  FT w/FT %.3f   CG w/FT %.3f  CG serial base\n",
+		Speedup(serialFT.WallCycles, mixed.Programs[1].Cycles),
+		Speedup(serialFT.WallCycles, same.Programs[1].Cycles),
+		Speedup(serialCG.WallCycles, mixed.Programs[0].Cycles))
+}
+
+// TestProbeCG probes CG's -8-2 exception at the env-selected scale.
+func TestProbeCG(t *testing.T) {
+	if os.Getenv("XEONOMP_PROBE") == "" {
+		t.Skip("probe disabled")
+	}
+	opt := DefaultOptions()
+	fmt.Sscanf(os.Getenv("XEONOMP_PROBE_SCALE"), "%g", &opt.Scale)
+	if opt.Scale == 0 {
+		opt.Scale = 1.0
+	}
+	cg, _ := profiles.ByName("CG")
+	serial, err := SerialBaseline(cg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []config.Arch{config.CMT, config.CMPSMP, config.CMTSMP} {
+		cfg, _ := config.ByArch(a)
+		r, err := RunSingle(cg, cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("CG %s: %.3f\n", cfg.Name, Speedup(serial.WallCycles, r.WallCycles))
+	}
+}

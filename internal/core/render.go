@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/counters"
+	"xeonomp/internal/report"
+	"xeonomp/internal/stats"
+)
+
+// metricPanel names one Figure-2/Figure-4 panel and extracts its value.
+type metricPanel struct {
+	Name    string
+	Get     func(m counters.Metrics) float64
+	Percent bool
+}
+
+func panels() []metricPanel {
+	return []metricPanel{
+		{"L1 cache miss rate", func(m counters.Metrics) float64 { return m.L1MissRate }, false},
+		{"L2 cache miss rate", func(m counters.Metrics) float64 { return m.L2MissRate }, false},
+		{"Trace cache miss rate", func(m counters.Metrics) float64 { return m.TCMissRate }, false},
+		{"ITLB miss rate", func(m counters.Metrics) float64 { return m.ITLBMissRate }, false},
+		{"DTLB load+store misses (normalized to serial)", nil, false}, // special-cased
+		{"% stalled cycles", func(m counters.Metrics) float64 { return m.StalledPct }, true},
+		{"Branch prediction rate (%)", func(m counters.Metrics) float64 { return m.BranchPredRate }, true},
+		{"% prefetching bus accesses", func(m counters.Metrics) float64 { return m.PrefetchBusPct }, true},
+		{"CPI", func(m counters.Metrics) float64 { return m.CPI }, false},
+	}
+}
+
+// Figure2Tables renders the nine Figure-2 panels: one table per metric,
+// benchmarks as rows and configurations as columns.
+func (s *SingleStudy) Figure2Tables() ([]*report.Table, error) {
+	var out []*report.Table
+	for pi, p := range panels() {
+		headers := append([]string{"benchmark"}, configNames(s.Configs)...)
+		t := report.NewTable(fmt.Sprintf("Figure 2.%d — %s", pi+1, p.Name), headers...)
+		for _, bn := range s.Benchmarks {
+			row := []any{bn}
+			for _, cfg := range s.Configs {
+				if p.Get == nil {
+					v, err := s.DTLBNormalized(bn, cfg.Name)
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, v)
+					continue
+				}
+				r, err := s.Result(bn, cfg.Name)
+				if err != nil {
+					return nil, err
+				}
+				v := p.Get(r.Programs[0].Metrics)
+				if pi == 3 { // ITLB rates are tiny; show more precision
+					row = append(row, fmt.Sprintf("%.5f", v))
+					continue
+				}
+				row = append(row, v)
+			}
+			t.AddF(row...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Figure3Table renders the single-program speedups (Figure 3).
+func (s *SingleStudy) Figure3Table() (*report.Table, error) {
+	var multis []config.Configuration
+	for _, c := range s.Configs {
+		if c.Arch != config.Serial {
+			multis = append(multis, c)
+		}
+	}
+	headers := append([]string{"benchmark"}, configNames(multis)...)
+	t := report.NewTable("Figure 3 — Speedup of NAS OpenMP applications over serial", headers...)
+	for _, bn := range s.Benchmarks {
+		row := []any{bn}
+		for _, cfg := range multis {
+			v, err := s.Speedup(bn, cfg.Name)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		t.AddF(row...)
+	}
+	return t, nil
+}
+
+// Table2Report renders the average speedup per architecture (Table 2).
+func (s *SingleStudy) Table2Report() (*report.Table, error) {
+	archs, avg, err := s.Table2()
+	if err != nil {
+		return nil, err
+	}
+	headers := make([]string, 0, len(archs)+1)
+	headers = append(headers, "")
+	for _, a := range archs {
+		headers = append(headers, string(a))
+	}
+	t := report.NewTable("Table 2 — Average speedup for architectures", headers...)
+	row := []any{"avg speedup"}
+	for _, a := range archs {
+		row = append(row, avg[a])
+	}
+	t.AddF(row...)
+	return t, nil
+}
+
+// Figure4Tables renders the multi-program study: the nine metric panels
+// (one row per program instance per workload) plus the per-workload
+// speedup table.
+func (s *PairStudy) Figure4Tables() ([]*report.Table, error) {
+	cfgNames := configNames(s.Configs)
+	var out []*report.Table
+	for pi, p := range panels() {
+		if p.Get == nil {
+			continue // DTLB normalization needs per-program serial bases; reported raw below
+		}
+		headers := append([]string{"program (workload)"}, cfgNames...)
+		t := report.NewTable(fmt.Sprintf("Figure 4.%d — %s", pi+1, p.Name), headers...)
+		for _, w := range s.Workloads {
+			for gi := range w.Programs {
+				label := fmt.Sprintf("%s (%s)", w.Programs[gi].Name, w.Name())
+				row := []any{label}
+				for _, cfg := range s.Configs {
+					res := s.Results[w.Name()][cfg.Name]
+					row = append(row, p.Get(res.Programs[gi].Metrics))
+				}
+				t.AddF(row...)
+			}
+		}
+		out = append(out, t)
+	}
+
+	headers := append([]string{"program (workload)"}, cfgNames...)
+	t := report.NewTable("Figure 4.10 — Multiprogrammed speedup over serial", headers...)
+	for _, w := range s.Workloads {
+		for gi := range w.Programs {
+			label := fmt.Sprintf("%s (%s)", w.Programs[gi].Name, w.Name())
+			row := []any{label}
+			for _, cfg := range s.Configs {
+				v, err := s.ProgramSpeedup(w, gi, cfg.Name)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+			}
+			t.AddF(row...)
+		}
+	}
+	out = append(out, t)
+	return out, nil
+}
+
+// Figure5Plot renders the cross-product box-and-whisker plot.
+func (s *CrossStudy) Figure5Plot() string {
+	labels := make([]string, 0, len(s.Configs))
+	boxes := make([]stats.BoxPlot, 0, len(s.Configs))
+	for _, cfg := range s.Configs {
+		labels = append(labels, cfg.Name)
+		boxes = append(boxes, s.Boxes[cfg.Name])
+	}
+	return report.BoxPlots("Figure 5 — Multi-programmed speedup of NAS benchmark pairs", labels, boxes, 64)
+}
+
+// Table1Report renders the configuration table.
+func Table1Report() *report.Table {
+	t := report.NewTable("Table 1 — Configuration information",
+		"terminology", "h/w contexts", "architecture")
+	for _, c := range config.Table1() {
+		ctxs := ""
+		for i, l := range c.Labels {
+			if i > 0 {
+				ctxs += ","
+			}
+			ctxs += l
+		}
+		t.Add(c.Name, ctxs, string(c.Arch))
+	}
+	return t
+}
+
+func configNames(cfgs []config.Configuration) []string {
+	out := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = c.Name
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"xeonomp/internal/config"
+)
+
+var (
+	tinyOnce  sync.Once
+	tinyCache *SingleStudy
+	tinyErr   error
+)
+
+// tinyStudy runs the full single-program grid at minimal scale once and
+// shares it across the rendering-layer tests (the study is read-only).
+func tinyStudy(t *testing.T) *SingleStudy {
+	t.Helper()
+	tinyOnce.Do(func() {
+		tinyCache, tinyErr = RunSingleStudy(quickOptions())
+	})
+	if tinyErr != nil {
+		t.Fatal(tinyErr)
+	}
+	return tinyCache
+}
+
+func TestFigure2TablesStructure(t *testing.T) {
+	s := tinyStudy(t)
+	tables, err := s.Figure2Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 9 {
+		t.Fatalf("%d panels, want 9", len(tables))
+	}
+	wantTitles := []string{
+		"L1 cache miss rate", "L2 cache miss rate", "Trace cache miss rate",
+		"ITLB miss rate", "DTLB", "stalled", "Branch prediction",
+		"prefetching bus accesses", "CPI",
+	}
+	for i, tb := range tables {
+		if !strings.Contains(tb.Title, wantTitles[i]) {
+			t.Errorf("panel %d title %q missing %q", i, tb.Title, wantTitles[i])
+		}
+		if len(tb.Rows) != 6 {
+			t.Errorf("panel %d has %d rows, want 6 benchmarks", i, len(tb.Rows))
+		}
+		if len(tb.Headers) != 9 { // benchmark + 8 configurations
+			t.Errorf("panel %d has %d columns, want 9", i, len(tb.Headers))
+		}
+	}
+}
+
+func TestFigure2DTLBNormalizedToSerial(t *testing.T) {
+	s := tinyStudy(t)
+	for _, bn := range s.Benchmarks {
+		serialCfg, _ := config.ByArch(config.Serial)
+		v, err := s.DTLBNormalized(bn, serialCfg.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 1.0 {
+			t.Errorf("%s serial DTLB normalization = %v, want exactly 1", bn, v)
+		}
+	}
+}
+
+func TestFigure3TableStructure(t *testing.T) {
+	s := tinyStudy(t)
+	tb, err := s.Figure3Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Headers) != 8 { // benchmark + 7 multithreaded configs
+		t.Fatalf("Figure 3 columns = %d, want 8", len(tb.Headers))
+	}
+	if strings.Contains(strings.Join(tb.Headers, " "), "Serial") {
+		t.Fatal("Figure 3 must not include the serial column")
+	}
+	// Serial speedup is by definition 1.0 and excluded; all entries present.
+	for _, row := range tb.Rows {
+		if len(row) != 8 {
+			t.Fatalf("row %v wrong width", row)
+		}
+	}
+}
+
+func TestTable2ReportStructure(t *testing.T) {
+	s := tinyStudy(t)
+	tb, err := s.Table2Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := tb.String()
+	for _, arch := range []string{"SMT", "CMP", "CMT", "SMP", "SMT-based SMP", "CMP-based SMP", "CMT-based SMP"} {
+		if !strings.Contains(line, arch) {
+			t.Errorf("Table 2 missing architecture %q", arch)
+		}
+	}
+}
+
+func TestSpeedupErrorsOnUnknown(t *testing.T) {
+	s := tinyStudy(t)
+	if _, err := s.Speedup("ZZ", "Serial"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := s.Speedup("CG", "nope"); err == nil {
+		t.Error("unknown configuration accepted")
+	}
+	if _, err := s.Result("CG", "nope"); err == nil {
+		t.Error("unknown result accepted")
+	}
+}
+
+func TestMetricsSanityAcrossStudy(t *testing.T) {
+	s := tinyStudy(t)
+	for key, res := range s.Results {
+		m := res.Programs[0].Metrics
+		if m.L1MissRate < 0 || m.L1MissRate > 1 ||
+			m.L2MissRate < 0 || m.L2MissRate > 1 ||
+			m.TCMissRate < 0 || m.TCMissRate > 1 ||
+			m.ITLBMissRate < 0 || m.ITLBMissRate > 1 {
+			t.Fatalf("%v: miss rate outside [0,1]: %+v", key, m)
+		}
+		if m.StalledPct < 0 || m.StalledPct > 100 {
+			t.Fatalf("%v: stall %% %v", key, m.StalledPct)
+		}
+		if m.BranchPredRate < 0 || m.BranchPredRate > 100 {
+			t.Fatalf("%v: BP %% %v", key, m.BranchPredRate)
+		}
+		if m.CPI <= 0 || m.CPI > 100 {
+			t.Fatalf("%v: CPI %v", key, m.CPI)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/stats"
+)
+
+// TrialSet is the result of repeated independent runs of one workload on
+// one configuration — the paper's "series of ten independent trials, with
+// minimal variance between tests (<~1-5%)" methodology. Trials differ by
+// seed, which perturbs chunk imbalance, data-dependent branch entropy, and
+// access interleavings.
+type TrialSet struct {
+	Workload   string
+	Config     string
+	WallCycles []float64
+	// PerProgram[i] holds program i's completion cycles across trials.
+	PerProgram [][]float64
+}
+
+// RunTrials executes n independent trials of workload w under cfg, varying
+// the seed from opt.Seed upward.
+func RunTrials(w Workload, cfg config.Configuration, opt Options, n int) (*TrialSet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: trial count %d", n)
+	}
+	ts := &TrialSet{
+		Workload:   w.Name(),
+		Config:     cfg.Name,
+		PerProgram: make([][]float64, len(w.Programs)),
+	}
+	for i := 0; i < n; i++ {
+		o := opt
+		o.Seed = opt.Seed + uint64(i)*1_000_003
+		res, err := Run(w, cfg, o)
+		if err != nil {
+			return nil, fmt.Errorf("core: trial %d: %w", i, err)
+		}
+		ts.WallCycles = append(ts.WallCycles, float64(res.WallCycles))
+		for pi, p := range res.Programs {
+			ts.PerProgram[pi] = append(ts.PerProgram[pi], float64(p.Cycles))
+		}
+	}
+	return ts, nil
+}
+
+// Mean returns the mean wall-clock cycles across trials.
+func (ts *TrialSet) Mean() float64 { return stats.Mean(ts.WallCycles) }
+
+// CoefVar returns the coefficient of variation of the wall clock across
+// trials — the paper's "variance between tests" figure.
+func (ts *TrialSet) CoefVar() float64 { return stats.CoefVar(ts.WallCycles) }
+
+// Box returns the five-number summary of the wall-clock trials.
+func (ts *TrialSet) Box() (stats.BoxPlot, error) { return stats.Box(ts.WallCycles) }

@@ -1,0 +1,185 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIncAddGet(t *testing.T) {
+	var s Set
+	s.Inc(L1DMiss)
+	s.Add(L1DMiss, 4)
+	if s.Get(L1DMiss) != 5 {
+		t.Errorf("got %d, want 5", s.Get(L1DMiss))
+	}
+	if s.Get(L2Miss) != 0 {
+		t.Error("untouched counter must be zero")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Set
+	for _, e := range Events() {
+		s.Add(e, 7)
+	}
+	s.Reset()
+	for _, e := range Events() {
+		if s.Get(e) != 0 {
+			t.Fatalf("%v not reset", e)
+		}
+	}
+}
+
+func TestMergeClone(t *testing.T) {
+	var a, b Set
+	a.Add(Cycles, 10)
+	b.Add(Cycles, 5)
+	b.Add(Instructions, 2)
+	c := a.Clone()
+	c.Merge(&b)
+	if c.Get(Cycles) != 15 || c.Get(Instructions) != 2 {
+		t.Errorf("merge wrong: %v", c)
+	}
+	if a.Get(Cycles) != 10 {
+		t.Error("clone must not alias the source")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	var base, now Set
+	base.Add(Cycles, 10)
+	now.Add(Cycles, 25)
+	d := now.Delta(&base)
+	if d.Get(Cycles) != 15 {
+		t.Errorf("delta = %d", d.Get(Cycles))
+	}
+}
+
+func TestDeltaPanicsOnRegression(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var base, now Set
+	base.Add(Cycles, 10)
+	now.Delta(&base)
+}
+
+func TestEventNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Events() {
+		n := e.String()
+		if n == "" || strings.HasPrefix(n, "event(") {
+			t.Errorf("event %d has no name", e)
+		}
+		if seen[n] {
+			t.Errorf("duplicate event name %q", n)
+		}
+		seen[n] = true
+	}
+	if Event(-1).String() != "event(-1)" {
+		t.Error("out-of-range name wrong")
+	}
+}
+
+func TestDerive(t *testing.T) {
+	var s Set
+	s.Add(Cycles, 1000)
+	s.Add(Instructions, 500)
+	s.Add(StallCycles, 250)
+	s.Add(L1DAccess, 100)
+	s.Add(L1DMiss, 10)
+	s.Add(L2Access, 10)
+	s.Add(L2Miss, 5)
+	s.Add(TCAccess, 50)
+	s.Add(TCMiss, 5)
+	s.Add(ITLBAccess, 50)
+	s.Add(ITLBMiss, 1)
+	s.Add(DTLBAccess, 100)
+	s.Add(DTLBMiss, 3)
+	s.Add(BranchRetired, 40)
+	s.Add(BranchMispredicted, 4)
+	s.Add(BusDemandRead, 6)
+	s.Add(BusRFO, 2)
+	s.Add(BusWriteback, 1)
+	s.Add(BusPrefetch, 1)
+
+	m := Derive(&s)
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"L1", m.L1MissRate, 0.1},
+		{"L2", m.L2MissRate, 0.5},
+		{"TC", m.TCMissRate, 0.1},
+		{"ITLB", m.ITLBMissRate, 0.02},
+		{"DTLB", m.DTLBMisses, 3},
+		{"stall", m.StalledPct, 25},
+		{"bp", m.BranchPredRate, 90},
+		{"pf", m.PrefetchBusPct, 10},
+		{"cpi", m.CPI, 2},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if BusTransactions(&s) != 10 {
+		t.Errorf("bus transactions = %d", BusTransactions(&s))
+	}
+}
+
+func TestDeriveEmptySetIsFinite(t *testing.T) {
+	var s Set
+	m := Derive(&s)
+	// All-zero counters must not produce NaN or Inf anywhere.
+	for _, v := range []float64{m.L1MissRate, m.L2MissRate, m.TCMissRate,
+		m.ITLBMissRate, m.DTLBMisses, m.StalledPct, m.PrefetchBusPct, m.CPI} {
+		if v != 0 {
+			t.Errorf("zero set yields non-zero metric %v", v)
+		}
+	}
+	if m.BranchPredRate != 100 {
+		t.Errorf("zero-branch prediction rate = %v, want 100", m.BranchPredRate)
+	}
+}
+
+func TestMergeCommutativeProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		var a, b Set
+		for i, v := range xs {
+			a.Add(Event(i%NumEvents), uint64(v))
+		}
+		for i, v := range ys {
+			b.Add(Event(i%NumEvents), uint64(v))
+		}
+		ab := a.Clone()
+		ab.Merge(&b)
+		ba := b.Clone()
+		ba.Merge(&a)
+		for _, e := range Events() {
+			if ab.Get(e) != ba.Get(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringShowsOnlyNonZero(t *testing.T) {
+	var s Set
+	s.Add(L2Miss, 3)
+	out := s.String()
+	if !strings.Contains(out, "l2_miss") {
+		t.Errorf("missing l2_miss in %q", out)
+	}
+	if strings.Contains(out, "l1d_miss") {
+		t.Errorf("zero counter printed in %q", out)
+	}
+}

@@ -1,0 +1,200 @@
+package cpu
+
+import (
+	"testing"
+
+	"xeonomp/internal/branch"
+	"xeonomp/internal/bus"
+	"xeonomp/internal/cache"
+	"xeonomp/internal/counters"
+	"xeonomp/internal/mem"
+	"xeonomp/internal/prefetch"
+	"xeonomp/internal/tlb"
+	"xeonomp/internal/trace"
+	"xeonomp/internal/units"
+)
+
+// buildCore assembles a standalone two-context core with Paxville-like
+// structures for direct pipeline tests.
+func buildCore(t *testing.T) *Core {
+	t.Helper()
+	freq := units.Frequency(2.8 * units.GHz)
+	memc := bus.NewMemory(bus.MemConfig{
+		Channels: 2, ChannelBandwidth: 2.215e9, LatencyNs: 136.85, LineSize: 64, Freq: freq,
+	})
+	fsb := bus.NewFSB(bus.FSBConfig{Name: "f", Bandwidth: 3.57e9, LineSize: 64, Freq: freq}, memc)
+	return NewCore("t", DefaultLatencies(),
+		cache.New(cache.Config{Name: "tc", Size: 16 * units.KiB, LineSize: 64, Assoc: 8}),
+		cache.New(cache.Config{Name: "l1", Size: 16 * units.KiB, LineSize: 64, Assoc: 8}),
+		cache.New(cache.Config{Name: "l2", Size: 1 * units.MiB, LineSize: 64, Assoc: 8}),
+		tlb.New(tlb.Config{Name: "itlb", Entries: 64, Assoc: 4, PageSize: 4096}),
+		tlb.New(tlb.Config{Name: "dtlb", Entries: 64, Assoc: 4, PageSize: 4096}),
+		branch.New(branch.Config{PHTBits: 12, HistoryBits: 10, BTBEntries: 2048}),
+		prefetch.New(prefetch.Config{Streams: 8, Degree: 2, LineSize: 64, PageSize: 4096, MaxStride: 2}),
+		fsb, 2)
+}
+
+// mount places a thread on context idx of the core.
+func mount(t *testing.T, c *Core, idx int, params trace.Params, budget int64, team *Team, name string) *Thread {
+	t.Helper()
+	l, err := mem.NewLayout(1, 2, 64<<10, 8<<20, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := trace.NewGenerator(params, l, idx, budget, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := NewThread(name, 0, g, team)
+	c.Contexts[idx].Enabled = true
+	c.Contexts[idx].Assign(th)
+	return th
+}
+
+// drive steps the core until every thread is done or the cycle cap hits.
+func drive(t *testing.T, c *Core, cap int64) int64 {
+	t.Helper()
+	var now int64
+	for ; now < cap; now++ {
+		if c.Done() {
+			return now
+		}
+		// Jump over globally-stalled windows like the machine engine does.
+		if !c.Step(now) {
+			min := int64(-1)
+			for _, x := range c.Contexts {
+				if ev := x.NextEvent(now); ev >= 0 && (min < 0 || ev < min) {
+					min = ev
+				}
+			}
+			if min > now {
+				now = min - 1
+			}
+		}
+	}
+	if !c.Done() {
+		t.Fatalf("core did not finish within %d cycles", cap)
+	}
+	return now
+}
+
+func storeHeavyParams() trace.Params {
+	return trace.Params{
+		LoadFrac: 0.05, StoreFrac: 0.6, BranchFrac: 0.05,
+		RandFrac:   1.0, // every store misses: hammer the store buffer
+		SharedFrac: 0.0,
+		LoopLen:    32, ChunkInstr: 100000, MLP: 0.3,
+	}
+}
+
+func TestStoreBufferBackPressure(t *testing.T) {
+	c := buildCore(t)
+	th := mount(t, c, 0, storeHeavyParams(), 4000, NewTeam(1), "stores")
+	drive(t, c, 50_000_000)
+	if th.Counters.Get(counters.BusRFO) == 0 {
+		t.Fatal("no RFOs issued for store misses")
+	}
+	// A full store buffer must eventually stall the context.
+	if th.Counters.Get(counters.StallCycles) == 0 {
+		t.Fatal("store-heavy random workload never stalled")
+	}
+}
+
+func TestFetchStructuresCount(t *testing.T) {
+	c := buildCore(t)
+	p := trace.Params{
+		LoadFrac: 0.2, StoreFrac: 0.05, BranchFrac: 0.1,
+		HotFrac: 1.0, HotBytes: 4096,
+		LoopLen: 64, ChunkInstr: 100000, MLP: 0.3,
+		CodeHotBytes: 32 * 1024, // exceeds the 16 KiB trace cache
+		CodeJumpProb: 0.001,
+	}
+	th := mount(t, c, 0, p, 50_000, NewTeam(1), "fetch")
+	drive(t, c, 50_000_000)
+	if th.Counters.Get(counters.TCAccess) == 0 || th.Counters.Get(counters.TCMiss) == 0 {
+		t.Fatalf("trace cache not exercised: %d/%d",
+			th.Counters.Get(counters.TCMiss), th.Counters.Get(counters.TCAccess))
+	}
+	if th.Counters.Get(counters.ITLBAccess) == 0 {
+		t.Fatal("ITLB never consulted")
+	}
+}
+
+func TestSiblingActive(t *testing.T) {
+	c := buildCore(t)
+	team := NewTeam(2)
+	mount(t, c, 0, storeHeavyParams(), 1000, team, "a")
+	mount(t, c, 1, storeHeavyParams(), 1000, team, "b")
+	if !c.siblingActive(c.Contexts[0]) {
+		t.Fatal("sibling with mounted thread not detected")
+	}
+	drive(t, c, 50_000_000)
+	if c.siblingActive(c.Contexts[0]) {
+		t.Fatal("finished sibling still reported active")
+	}
+}
+
+func TestPollute(t *testing.T) {
+	c := buildCore(t)
+	team := NewTeam(2)
+	mount(t, c, 0, storeHeavyParams(), 1000, team, "a")
+	mount(t, c, 1, storeHeavyParams(), 1000, team, "b")
+	c.pollute(c.Contexts[0], 100, 10)
+	if c.Contexts[1].readyAt < 110 {
+		t.Fatalf("sibling readyAt %d, want >= 110", c.Contexts[1].readyAt)
+	}
+	// Never shortens an existing longer stall.
+	c.Contexts[1].readyAt = 500
+	c.pollute(c.Contexts[0], 100, 10)
+	if c.Contexts[1].readyAt != 500 {
+		t.Fatal("pollute shortened a longer stall")
+	}
+}
+
+func TestQuantumPreemption(t *testing.T) {
+	// Two single-thread programs on one context: after a quantum the other
+	// thread must get the CPU; both finish.
+	c := buildCore(t)
+	c.Lat.Quantum = 5000
+	l1, _ := mem.NewLayout(1, 1, 64<<10, 8<<20, 4<<20)
+	l2, _ := mem.NewLayout(2, 1, 64<<10, 8<<20, 4<<20)
+	p := trace.Params{
+		LoadFrac: 0.2, StoreFrac: 0.05, BranchFrac: 0.1,
+		HotFrac: 1.0, HotBytes: 4096,
+		LoopLen: 32, ChunkInstr: 100000, MLP: 0.3,
+	}
+	g1, _ := trace.NewGenerator(p, l1, 0, 50_000, 1)
+	g2, _ := trace.NewGenerator(p, l2, 0, 50_000, 2)
+	a := NewThread("a", 0, g1, NewTeam(1))
+	b := NewThread("b", 1, g2, NewTeam(1))
+	c.Contexts[0].Enabled = true
+	c.Contexts[0].Assign(a)
+	c.Contexts[0].Assign(b)
+	drive(t, c, 100_000_000)
+	if a.State != ThreadDone || b.State != ThreadDone {
+		t.Fatal("time-sliced threads did not both finish")
+	}
+	// Interleaving means neither finish time can precede the other by the
+	// full budget: thread b must have run before a finished.
+	if b.FinishedAt < a.FinishedAt/4 {
+		t.Fatalf("suspicious finish times: a=%d b=%d", a.FinishedAt, b.FinishedAt)
+	}
+}
+
+func TestPrewarmPopulatesCaches(t *testing.T) {
+	c := buildCore(t)
+	p := trace.Params{
+		LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.1,
+		HotFrac: 0.8, WarmFrac: 0.2,
+		HotBytes: 4096, WarmBytes: 192 * 512, WarmStride: 192,
+		LoopLen: 32, ChunkInstr: 100000, MLP: 0.3,
+	}
+	mount(t, c, 0, p, 1000, NewTeam(1), "warm")
+	if c.L2.ValidLines() != 0 {
+		t.Fatal("L2 dirty before prewarm")
+	}
+	c.Contexts[0].Prewarm()
+	if c.L2.ValidLines() == 0 || c.L1D.ValidLines() == 0 {
+		t.Fatal("prewarm did not populate the caches")
+	}
+}

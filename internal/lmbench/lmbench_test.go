@@ -1,0 +1,135 @@
+package lmbench
+
+import (
+	"math"
+	"testing"
+
+	"xeonomp/internal/machine"
+	"xeonomp/internal/units"
+)
+
+func newMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.PaxvilleSMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// within checks a measured value against a paper target with a relative
+// tolerance.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > tol {
+		t.Errorf("%s = %.3f, want %.3f (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+// TestSection3Calibration asserts the paper's Section 3 measurements — the
+// gate every other experiment depends on.
+func TestSection3Calibration(t *testing.T) {
+	m := newMachine(t)
+	r, err := Measure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "L1 latency (ns)", r.L1Ns, 1.43, 0.05)
+	within(t, "L2 latency (ns)", r.L2Ns, 10.6, 0.05)
+	within(t, "memory latency (ns)", r.MemNs, 136.85, 0.05)
+	within(t, "read BW 1 chip", r.ReadBW1/1e9, 3.57, 0.05)
+	within(t, "write BW 1 chip", r.WriteBW1/1e9, 1.77, 0.05)
+	within(t, "read BW 2 chips", r.ReadBW2/1e9, 4.43, 0.05)
+	// The write-combining benefits on the real box push dual-chip writes
+	// to 2.6 GB/s; the RFO+WB model lands at read/2 — a documented gap.
+	within(t, "write BW 2 chips", r.WriteBW2/1e9, 2.6, 0.20)
+}
+
+func TestLatencyStaircase(t *testing.T) {
+	m := newMachine(t)
+	sizes := []int64{
+		4 * units.KiB, 8 * units.KiB, // L1 plateau
+		64 * units.KiB, 256 * units.KiB, // L2 plateau
+		8 * units.MiB, 32 * units.MiB, // memory plateau
+	}
+	pts, err := LatencyCurve(m, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone non-decreasing in working-set size.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].LatencyNs+1e-9 < pts[i-1].LatencyNs {
+			t.Fatalf("latency decreased with size: %+v", pts)
+		}
+	}
+	// The three plateaus are distinct by an order of magnitude each.
+	if pts[1].LatencyNs > 3 || pts[3].LatencyNs < 5 || pts[3].LatencyNs > 30 || pts[5].LatencyNs < 100 {
+		t.Fatalf("plateaus wrong: %+v", pts)
+	}
+}
+
+func TestLatencyErrors(t *testing.T) {
+	m := newMachine(t)
+	if _, err := Latency(m, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestBandwidthErrors(t *testing.T) {
+	m := newMachine(t)
+	if _, err := ReadBandwidth(m, 0); err == nil {
+		t.Error("zero chips accepted")
+	}
+	if _, err := ReadBandwidth(m, 3); err == nil {
+		t.Error("three chips accepted on a two-chip machine")
+	}
+}
+
+func TestDualChipBeatsSingleChip(t *testing.T) {
+	m := newMachine(t)
+	r1, err := ReadBandwidth(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadBandwidth(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 <= r1 {
+		t.Fatalf("dual-chip bandwidth %.3g not above single-chip %.3g", r2, r1)
+	}
+	// But far from 2x: the shared memory controller binds (the paper's
+	// 4.43/3.57 = 1.24 ratio).
+	if r2/r1 > 1.5 {
+		t.Fatalf("dual/single ratio %.2f too high; controller should bind", r2/r1)
+	}
+}
+
+func TestWritesCostTwoTransfers(t *testing.T) {
+	m := newMachine(t)
+	r, err := ReadBandwidth(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WriteBandwidth(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r / w
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("read/write ratio %.2f, want ~2 (RFO + writeback)", ratio)
+	}
+}
+
+func TestMeasureLeavesMachineClean(t *testing.T) {
+	m := newMachine(t)
+	if _, err := Measure(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Clock() != 0 {
+		t.Error("machine clock not reset after measurement")
+	}
+	if m.Mem.ReadBytes() != 0 {
+		t.Error("memory counters not reset after measurement")
+	}
+}

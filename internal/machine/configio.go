@@ -1,0 +1,31 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the machine configuration as indented JSON, so a
+// platform variant can be stored next to the experiments it produced.
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// LoadConfig parses a machine configuration from JSON and validates it.
+// Fields omitted in the input stay at their zero values, so callers usually
+// start from a full preset: marshal PaxvilleSMP(), edit, reload.
+func LoadConfig(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("machine: parsing config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

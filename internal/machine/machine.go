@@ -1,0 +1,383 @@
+// Package machine assembles the full simulated platform of the paper: a
+// Dell PowerEdge 2850-like SMP with two dual-core 2.8 GHz Hyper-Threaded
+// Xeon "Paxville" chips, per-core trace cache / L1D / private 1 MB L2,
+// shared-per-core TLBs and branch predictor, one front-side bus per chip,
+// and a shared dual-channel memory controller. It also contains the cycle
+// engine that advances all cores in lockstep with event-driven clock jumps
+// across globally-stalled windows.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"xeonomp/internal/branch"
+	"xeonomp/internal/bus"
+	"xeonomp/internal/cache"
+	"xeonomp/internal/counters"
+	"xeonomp/internal/cpu"
+	"xeonomp/internal/prefetch"
+	"xeonomp/internal/tlb"
+	"xeonomp/internal/units"
+)
+
+// Config describes a full machine.
+type Config struct {
+	Chips           int
+	CoresPerChip    int
+	ContextsPerCore int
+
+	Freq units.Frequency
+
+	TraceCache cache.Config
+	L1D        cache.Config
+	L2         cache.Config
+	ITLB       tlb.Config
+	DTLB       tlb.Config
+	Branch     branch.Config
+	Prefetch   prefetch.Config
+
+	FSBBandwidth float64 // effective bytes/second per chip
+	Mem          bus.MemConfig
+
+	Lat cpu.Latencies
+
+	// PrefetchGate overrides the cores' prefetch admission threshold (the
+	// maximum FSB queue delay at which prefetches are still issued).
+	// 0 keeps the default; a negative value disables prefetching.
+	PrefetchGate int64
+}
+
+// Validate checks the machine configuration.
+func (c Config) Validate() error {
+	if c.Chips <= 0 || c.CoresPerChip <= 0 || c.ContextsPerCore <= 0 {
+		return fmt.Errorf("machine: bad topology %d/%d/%d", c.Chips, c.CoresPerChip, c.ContextsPerCore)
+	}
+	if c.Freq <= 0 {
+		return fmt.Errorf("machine: frequency %v", c.Freq)
+	}
+	for _, cc := range []cache.Config{c.TraceCache, c.L1D, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.ITLB.Validate(); err != nil {
+		return err
+	}
+	if err := c.DTLB.Validate(); err != nil {
+		return err
+	}
+	if err := c.Branch.Validate(); err != nil {
+		return err
+	}
+	if err := c.Prefetch.Validate(); err != nil {
+		return err
+	}
+	if c.FSBBandwidth <= 0 {
+		return fmt.Errorf("machine: FSB bandwidth %g", c.FSBBandwidth)
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	return c.Lat.Validate()
+}
+
+// PaxvilleSMP returns the paper's platform: 2 chips x 2 cores x 2 contexts
+// at 2.8 GHz, 16 KiB L1D and trace cache per core, private 1 MiB L2 per
+// core, one FSB per chip calibrated to 3.57 GB/s effective read bandwidth,
+// and a dual-channel controller calibrated to the paper's 4.43 GB/s
+// aggregate and 136.85 ns unloaded latency.
+func PaxvilleSMP() Config {
+	const freq = units.Frequency(2.8 * units.GHz)
+	const line = 64
+	return Config{
+		Chips:           2,
+		CoresPerChip:    2,
+		ContextsPerCore: 2,
+		Freq:            freq,
+		TraceCache:      cache.Config{Name: "TC", Size: 16 * units.KiB, LineSize: line, Assoc: 8},
+		L1D:             cache.Config{Name: "L1D", Size: 16 * units.KiB, LineSize: line, Assoc: 8},
+		L2:              cache.Config{Name: "L2", Size: 1 * units.MiB, LineSize: line, Assoc: 8},
+		ITLB:            tlb.Config{Name: "ITLB", Entries: 64, Assoc: 4, PageSize: 4096},
+		DTLB:            tlb.Config{Name: "DTLB", Entries: 64, Assoc: 4, PageSize: 4096},
+		Branch:          branch.Config{PHTBits: 12, HistoryBits: 10, BTBEntries: 2048},
+		Prefetch:        prefetch.Config{Streams: 8, Degree: 2, LineSize: line, PageSize: 4096, MaxStride: 2},
+		FSBBandwidth:    3.57 * units.GB,
+		Mem: bus.MemConfig{
+			Channels:         2,
+			ChannelBandwidth: 4.43 * units.GB / 2,
+			LatencyNs:        136.85,
+			LineSize:         line,
+			Freq:             freq,
+		},
+		Lat: cpu.DefaultLatencies(),
+	}
+}
+
+// PrestoniaSMP returns the authors' earlier platform (their IOSCA'05 study,
+// the paper's reference [3]): a two-way SMP of single-core Hyper-Threaded
+// 3.0 GHz Xeons with 512 KiB L2 and a 533 MHz front-side bus. The paper
+// argues HT efficiency improved on the newer box "most likely due to the
+// improvements in memory bus speed"; comparing SMT speedups across the two
+// presets reproduces that claim.
+func PrestoniaSMP() Config {
+	const freq = units.Frequency(3.0 * units.GHz)
+	const line = 64
+	return Config{
+		Chips:           2,
+		CoresPerChip:    1,
+		ContextsPerCore: 2,
+		Freq:            freq,
+		TraceCache:      cache.Config{Name: "TC", Size: 16 * units.KiB, LineSize: line, Assoc: 8},
+		L1D:             cache.Config{Name: "L1D", Size: 8 * units.KiB, LineSize: line, Assoc: 4},
+		L2:              cache.Config{Name: "L2", Size: 512 * units.KiB, LineSize: line, Assoc: 8},
+		ITLB:            tlb.Config{Name: "ITLB", Entries: 64, Assoc: 4, PageSize: 4096},
+		DTLB:            tlb.Config{Name: "DTLB", Entries: 64, Assoc: 4, PageSize: 4096},
+		Branch:          branch.Config{PHTBits: 12, HistoryBits: 10, BTBEntries: 2048},
+		Prefetch:        prefetch.Config{Streams: 8, Degree: 2, LineSize: line, PageSize: 4096, MaxStride: 2},
+		FSBBandwidth:    2.1 * units.GB, // 533 MHz FSB, protocol overhead folded in
+		Mem: bus.MemConfig{
+			Channels:         2,
+			ChannelBandwidth: 2.6 * units.GB / 2,
+			LatencyNs:        180,
+			LineSize:         line,
+			Freq:             freq,
+		},
+		Lat: cpu.DefaultLatencies(),
+	}
+}
+
+// Chip is one physical package: cores sharing a front-side bus.
+type Chip struct {
+	ID    int
+	FSB   *bus.FSB
+	Cores []*cpu.Core
+}
+
+// Machine is the assembled platform.
+type Machine struct {
+	Cfg   Config
+	Mem   *bus.Memory
+	Chips []*Chip
+
+	cores    []*cpu.Core
+	contexts []*cpu.Context // flattened, HT enumeration order
+	clock    int64
+	sampler  *Sampler
+}
+
+// New builds a machine from cfg. All contexts start disabled; apply a
+// configuration (internal/config) or call EnableAll.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg, Mem: bus.NewMemory(cfg.Mem)}
+	for p := 0; p < cfg.Chips; p++ {
+		fsb := bus.NewFSB(bus.FSBConfig{
+			Name:      fmt.Sprintf("fsb%d", p),
+			Bandwidth: cfg.FSBBandwidth,
+			LineSize:  cfg.Mem.LineSize,
+			Freq:      cfg.Freq,
+		}, m.Mem)
+		chip := &Chip{ID: p, FSB: fsb}
+		for c := 0; c < cfg.CoresPerChip; c++ {
+			id := fmt.Sprintf("P%dC%d", p, c)
+			core := cpu.NewCore(id, cfg.Lat,
+				cache.New(named(cfg.TraceCache, id)),
+				cache.New(named(cfg.L1D, id)),
+				cache.New(named(cfg.L2, id)),
+				tlb.New(cfg.ITLB), tlb.New(cfg.DTLB),
+				branch.New(cfg.Branch), prefetch.New(cfg.Prefetch),
+				fsb, cfg.ContextsPerCore)
+			if cfg.PrefetchGate != 0 {
+				core.PrefetchGate = cfg.PrefetchGate
+			}
+			for t, x := range core.Contexts {
+				x.Label = fmt.Sprintf("P%dC%dT%d", p, c, t)
+				m.contexts = append(m.contexts, x)
+				_ = t
+			}
+			chip.Cores = append(chip.Cores, core)
+			m.cores = append(m.cores, core)
+		}
+		m.Chips = append(m.Chips, chip)
+	}
+	// Wire write-invalidate coherence: every core sees every other core.
+	for _, a := range m.cores {
+		for _, b := range m.cores {
+			if a != b {
+				a.Peers = append(a.Peers, b)
+			}
+		}
+	}
+	return m, nil
+}
+
+func named(c cache.Config, core string) cache.Config {
+	c.Name = core + "." + c.Name
+	return c
+}
+
+// Context returns the hardware context at (chip, core, thread).
+func (m *Machine) Context(chip, core, thread int) (*cpu.Context, error) {
+	if chip < 0 || chip >= m.Cfg.Chips || core < 0 || core >= m.Cfg.CoresPerChip ||
+		thread < 0 || thread >= m.Cfg.ContextsPerCore {
+		return nil, fmt.Errorf("machine: no context (%d,%d,%d)", chip, core, thread)
+	}
+	idx := (chip*m.Cfg.CoresPerChip+core)*m.Cfg.ContextsPerCore + thread
+	return m.contexts[idx], nil
+}
+
+// Contexts returns all hardware contexts in HT enumeration order
+// (chip-major, then core, then thread): A0..A7 on the paper's box.
+func (m *Machine) Contexts() []*cpu.Context { return m.contexts }
+
+// Cores returns all cores, chip-major.
+func (m *Machine) Cores() []*cpu.Core { return m.cores }
+
+// HTLabel returns the paper's HT-enabled label (A0..) for flat index i.
+func HTLabel(i int) string { return fmt.Sprintf("A%d", i) }
+
+// HTOffLabel returns the paper's HT-disabled label (B0..) for the i-th core.
+func HTOffLabel(i int) string { return fmt.Sprintf("B%d", i) }
+
+// DisableAll disables every context.
+func (m *Machine) DisableAll() {
+	for _, x := range m.contexts {
+		x.Enabled = false
+	}
+}
+
+// EnableAll enables every context.
+func (m *Machine) EnableAll() {
+	for _, x := range m.contexts {
+		x.Enabled = true
+	}
+}
+
+// Enabled returns the enabled contexts in enumeration order — the logical
+// processors the OS scheduler may use.
+func (m *Machine) Enabled() []*cpu.Context {
+	var out []*cpu.Context
+	for _, x := range m.contexts {
+		if x.Enabled {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Clock returns the current cycle.
+func (m *Machine) Clock() int64 { return m.clock }
+
+// ErrDeadlock is returned when no context can ever issue again but threads
+// remain unfinished (a barrier that can never be released, e.g. a team
+// thread that was never assigned to an enabled context).
+var ErrDeadlock = errors.New("machine: deadlock, unfinished threads but no runnable context")
+
+// ErrCycleLimit is returned when the run exceeds the cycle budget.
+var ErrCycleLimit = errors.New("machine: cycle limit exceeded")
+
+// Run advances the machine until every assigned thread has finished, or
+// until limit cycles have elapsed (limit <= 0 means no limit). It returns
+// the cycle count at completion.
+func (m *Machine) Run(limit int64) (int64, error) {
+	for {
+		if m.allDone() {
+			return m.clock, nil
+		}
+		if limit > 0 && m.clock >= limit {
+			return m.clock, ErrCycleLimit
+		}
+		issued := false
+		for _, c := range m.cores {
+			if c.Step(m.clock) {
+				issued = true
+			}
+		}
+		next := m.clock + 1
+		if !issued {
+			ev := m.nextEvent()
+			if ev < 0 {
+				if m.allDone() {
+					return m.clock, nil
+				}
+				return m.clock, ErrDeadlock
+			}
+			if ev > next {
+				next = ev
+			}
+		}
+		m.accrue(next - m.clock)
+		m.clock = next
+		if m.sampler != nil {
+			m.sampler.tick(m, m.clock)
+		}
+	}
+}
+
+// nextEvent returns the earliest cycle any context could issue, or -1.
+func (m *Machine) nextEvent() int64 {
+	best := int64(-1)
+	for _, x := range m.contexts {
+		ev := x.NextEvent(m.clock)
+		if ev < 0 {
+			continue
+		}
+		if best < 0 || ev < best {
+			best = ev
+		}
+	}
+	if best >= 0 && best <= m.clock {
+		best = m.clock + 1
+	}
+	return best
+}
+
+// accrue charges d cycles to the mounted thread of every context that still
+// has unfinished work — this is the PMU "cycles" event per thread.
+func (m *Machine) accrue(d int64) {
+	if d <= 0 {
+		return
+	}
+	for _, x := range m.contexts {
+		if !x.Enabled || x.AllDone() {
+			continue
+		}
+		if t := x.Mounted(); t != nil && t.State != cpu.ThreadDone {
+			t.Counters.Add(counters.Cycles, uint64(d))
+		}
+	}
+}
+
+func (m *Machine) allDone() bool {
+	for _, c := range m.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset restores the machine to power-on state: caches, TLBs, predictors,
+// prefetchers, buses, memory, clock, run queues. Enabled flags are kept.
+func (m *Machine) Reset() {
+	m.clock = 0
+	m.Mem.Reset()
+	for _, ch := range m.Chips {
+		ch.FSB.Reset()
+	}
+	for _, c := range m.cores {
+		c.TC.Flush()
+		c.L1D.Flush()
+		c.L2.Flush()
+		c.ITLB.Flush()
+		c.DTLB.Flush()
+		c.BP.Reset()
+		c.PF.Reset()
+		for _, x := range c.Contexts {
+			x.Clear()
+		}
+	}
+}

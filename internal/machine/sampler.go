@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"fmt"
+
+	"xeonomp/internal/counters"
+)
+
+// Sample is one sampling window: the aggregate counter deltas of every
+// thread on the machine over [Start, End) cycles — the shape of data a
+// time-based profiler like VTune produces, used to expose phase behaviour.
+type Sample struct {
+	Start, End int64
+	Counters   counters.Set
+}
+
+// Metrics derives the window's Figure-2-style metrics.
+func (s Sample) Metrics() counters.Metrics {
+	return counters.Derive(&s.Counters)
+}
+
+// Sampler periodically snapshots the machine-wide counter state during Run.
+// Attach with Machine.SetSampler before running; read Samples afterwards.
+type Sampler struct {
+	Interval int64 // cycles per window
+	Samples  []Sample
+
+	last     counters.Set
+	nextTick int64
+	started  bool
+}
+
+// NewSampler creates a sampler with the given window length in cycles.
+func NewSampler(interval int64) (*Sampler, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("machine: sampler interval %d", interval)
+	}
+	return &Sampler{Interval: interval}, nil
+}
+
+// aggregate sums every thread's counters across the machine.
+func aggregate(m *Machine, out *counters.Set) {
+	out.Reset()
+	for _, x := range m.Contexts() {
+		for _, t := range x.Threads() {
+			out.Merge(&t.Counters)
+		}
+	}
+}
+
+// tick is called by the engine when the clock reaches or passes the next
+// window boundary.
+func (s *Sampler) tick(m *Machine, now int64) {
+	if !s.started {
+		s.started = true
+		s.nextTick = now + s.Interval
+		aggregate(m, &s.last)
+		return
+	}
+	for now >= s.nextTick {
+		var cur counters.Set
+		aggregate(m, &cur)
+		// A thread's warmup reset can make counters regress between
+		// windows; clamp those deltas to zero rather than panicking.
+		var delta counters.Set
+		for _, e := range counters.Events() {
+			c, l := cur.Get(e), s.last.Get(e)
+			if c > l {
+				delta.Add(e, c-l)
+			}
+		}
+		s.Samples = append(s.Samples, Sample{
+			Start:    s.nextTick - s.Interval,
+			End:      s.nextTick,
+			Counters: delta,
+		})
+		s.last = cur
+		s.nextTick += s.Interval
+	}
+}
+
+// SetSampler attaches (or detaches, with nil) a sampler to the machine.
+func (m *Machine) SetSampler(s *Sampler) { m.sampler = s }

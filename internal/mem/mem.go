@@ -1,0 +1,83 @@
+// Package mem defines the simulated virtual address-space layout used by the
+// trace generators. Each program in a workload gets its own address space
+// (distinguished by an ASID folded into the high address bits, so two
+// co-scheduled programs never alias in the caches or TLBs), containing a
+// code region, an OpenMP shared-data region, and one private region per
+// thread. Layout geometry comes from the benchmark profiles.
+package mem
+
+import "fmt"
+
+// Region is one contiguous address range.
+type Region struct {
+	Base uint64
+	Size uint64
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// End returns one past the last address of the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// asidShift places the address-space ID above any realistic footprint while
+// staying inside 64 bits.
+const asidShift = 44
+
+// guard separates regions within a space so streams never run across a
+// region boundary.
+const guard = 1 << 30
+
+// Layout is one program's address space.
+type Layout struct {
+	ASID    uint64
+	Code    Region
+	Shared  Region
+	Private []Region // one per thread
+}
+
+// NewLayout builds the address space for program asid with the given region
+// sizes (bytes) and thread count. Sizes of zero are promoted to one page so
+// every region is addressable.
+func NewLayout(asid uint64, threads int, codeSize, sharedSize, privSize uint64) (*Layout, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("mem: thread count %d", threads)
+	}
+	if asid >= 1<<16 {
+		return nil, fmt.Errorf("mem: asid %d out of range", asid)
+	}
+	const page = 4096
+	if codeSize == 0 {
+		codeSize = page
+	}
+	if sharedSize == 0 {
+		sharedSize = page
+	}
+	if privSize == 0 {
+		privSize = page
+	}
+	base := asid << asidShift
+	l := &Layout{ASID: asid}
+	l.Code = Region{Base: base + guard, Size: codeSize}
+	l.Shared = Region{Base: l.Code.End() + guard, Size: sharedSize}
+	next := l.Shared.End() + guard
+	for t := 0; t < threads; t++ {
+		l.Private = append(l.Private, Region{Base: next, Size: privSize})
+		next = next + privSize + guard
+	}
+	return l, nil
+}
+
+// TotalData returns the combined shared and private data footprint in bytes.
+func (l *Layout) TotalData() uint64 {
+	n := l.Shared.Size
+	for _, p := range l.Private {
+		n += p.Size
+	}
+	return n
+}
+
+// Threads returns the number of per-thread private regions.
+func (l *Layout) Threads() int { return len(l.Private) }

@@ -1,0 +1,100 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLayoutBasics(t *testing.T) {
+	l, err := NewLayout(1, 4, 64<<10, 1<<20, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Code.Size != 64<<10 || l.Shared.Size != 1<<20 {
+		t.Fatal("region sizes wrong")
+	}
+	if l.Threads() != 4 || len(l.Private) != 4 {
+		t.Fatal("thread count wrong")
+	}
+	if l.TotalData() != 1<<20+4*(256<<10) {
+		t.Fatalf("total data = %d", l.TotalData())
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	if _, err := NewLayout(1, 0, 1, 1, 1); err == nil {
+		t.Error("zero threads should fail")
+	}
+	if _, err := NewLayout(1<<16, 1, 1, 1, 1); err == nil {
+		t.Error("oversized asid should fail")
+	}
+}
+
+func TestZeroSizesPromoted(t *testing.T) {
+	l, err := NewLayout(1, 1, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Region{l.Code, l.Shared, l.Private[0]} {
+		if r.Size == 0 {
+			t.Fatal("zero-size region not promoted")
+		}
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	l, err := NewLayout(3, 8, 1<<20, 512<<20, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := append([]Region{l.Code, l.Shared}, l.Private...)
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.Base < b.End() && b.Base < a.End() {
+				t.Fatalf("regions %d and %d overlap: %+v %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestASIDSeparationProperty(t *testing.T) {
+	f := func(a1, a2 uint8, threads uint8) bool {
+		if a1 == a2 {
+			return true
+		}
+		n := int(threads%8) + 1
+		l1, err1 := NewLayout(uint64(a1), n, 1<<20, 64<<20, 4<<20)
+		l2, err2 := NewLayout(uint64(a2), n, 1<<20, 64<<20, 4<<20)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// No region of l1 may overlap any region of l2.
+		r1 := append([]Region{l1.Code, l1.Shared}, l1.Private...)
+		r2 := append([]Region{l2.Code, l2.Shared}, l2.Private...)
+		for _, a := range r1 {
+			for _, b := range r2 {
+				if a.Base < b.End() && b.Base < a.End() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 100, Size: 10}
+	if !r.Contains(100) || !r.Contains(109) {
+		t.Error("contains endpoints wrong")
+	}
+	if r.Contains(99) || r.Contains(110) {
+		t.Error("contains out of range")
+	}
+	if r.End() != 110 {
+		t.Error("end wrong")
+	}
+}

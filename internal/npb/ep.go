@@ -1,0 +1,127 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"xeonomp/internal/omp"
+)
+
+// EPParams sizes the EP (embarrassingly parallel) kernel: 2^M pairs of
+// Gaussian deviates are generated and binned by annulus.
+type EPParams struct {
+	M int // log2 of the number of pairs
+}
+
+// EPClass returns the NPB size for the class (T is the fast test size).
+func EPClass(c Class) (EPParams, error) {
+	switch c {
+	case ClassT:
+		return EPParams{M: 16}, nil
+	case ClassS:
+		return EPParams{M: 24}, nil
+	case ClassW:
+		return EPParams{M: 25}, nil
+	case ClassA:
+		return EPParams{M: 28}, nil
+	case ClassB:
+		return EPParams{M: 30}, nil
+	}
+	return EPParams{}, fmt.Errorf("npb: ep has no class %q", c)
+}
+
+// EPOutput is the EP signature: the sums of the accepted Gaussian deviates
+// and the per-annulus counts.
+type EPOutput struct {
+	SX, SY float64
+	Q      [10]float64
+	Pairs  int64 // accepted pairs
+}
+
+// epBlock is the random-stream block size, matching NPB's NK = 2^16 numbers
+// (2^15 pairs) per block so every thread can jump to its blocks' seeds.
+const epBlockLog = 16
+
+// RunEP executes EP with the given team size and returns the result. The
+// random stream is partitioned into fixed blocks whose seeds are reached by
+// LCG jumping, so the output is independent of the schedule and thread
+// count.
+func RunEP(p EPParams, threads int) (Result, EPOutput) {
+	if p.M < epBlockLog {
+		// Small test sizes use a single smaller block per thread chunk.
+		return runEP(p, threads, p.M)
+	}
+	return runEP(p, threads, epBlockLog)
+}
+
+func runEP(p EPParams, threads int, blockLog int) (Result, EPOutput) {
+	nPairs := int64(1) << p.M
+	pairsPerBlock := int64(1) << (blockLog - 1)
+	nBlocks := int(nPairs / pairsPerBlock)
+	if nBlocks < 1 {
+		nBlocks = 1
+		pairsPerBlock = nPairs
+	}
+
+	team := omp.NewTeam(threads)
+	partial := make([]EPOutput, team.NumThreads())
+
+	team.Parallel(func(c *omp.Context) {
+		var local EPOutput
+		xs := make([]float64, 2*pairsPerBlock)
+		c.ForEach(0, nBlocks, omp.Static, 0, func(b int) {
+			// Jump to this block's seed: 2 numbers per pair.
+			seed := SeedAt(DefaultSeed, A, int64(b)*pairsPerBlock*2)
+			Vranlc(len(xs), &seed, A, xs)
+			for i := int64(0); i < pairsPerBlock; i++ {
+				x := 2*xs[2*i] - 1
+				y := 2*xs[2*i+1] - 1
+				t := x*x + y*y
+				if t > 1 {
+					continue
+				}
+				f := math.Sqrt(-2 * math.Log(t) / t)
+				gx := x * f
+				gy := y * f
+				l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+				if l > 9 {
+					l = 9
+				}
+				local.Q[l]++
+				local.SX += gx
+				local.SY += gy
+				local.Pairs++
+			}
+		})
+		partial[c.TID()] = local
+	})
+
+	var out EPOutput
+	for _, l := range partial {
+		out.SX += l.SX
+		out.SY += l.SY
+		out.Pairs += l.Pairs
+		for i := range out.Q {
+			out.Q[i] += l.Q[i]
+		}
+	}
+
+	// Invariant verification: the annulus counts must sum to the accepted
+	// pairs, and the acceptance rate must be near pi/4.
+	var qsum float64
+	for _, q := range out.Q {
+		qsum += q
+	}
+	rate := float64(out.Pairs) / float64(nPairs)
+	ok := qsum == float64(out.Pairs) && math.Abs(rate-math.Pi/4) < 0.05
+	detail := fmt.Sprintf("accept rate %.4f (pi/4=%.4f), qsum ok=%v", rate, math.Pi/4, qsum == float64(out.Pairs))
+
+	res := Result{
+		Name:     "EP",
+		Threads:  threads,
+		Verified: ok,
+		Checksum: out.SX,
+		Detail:   detail,
+	}
+	return res, out
+}

@@ -1,0 +1,221 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"xeonomp/internal/omp"
+)
+
+// FTParams sizes the FT kernel: an N1 x N2 x N3 complex grid (powers of
+// two) evolved for NIter steps in frequency space.
+type FTParams struct {
+	N1, N2, N3 int
+	NIter      int
+}
+
+// FTClass returns the NPB size for the class.
+func FTClass(c Class) (FTParams, error) {
+	switch c {
+	case ClassT:
+		return FTParams{N1: 16, N2: 16, N3: 16, NIter: 2}, nil
+	case ClassS:
+		return FTParams{N1: 64, N2: 64, N3: 64, NIter: 6}, nil
+	case ClassW:
+		return FTParams{N1: 128, N2: 128, N3: 32, NIter: 6}, nil
+	case ClassA:
+		return FTParams{N1: 256, N2: 256, N3: 128, NIter: 6}, nil
+	case ClassB:
+		return FTParams{N1: 512, N2: 256, N3: 256, NIter: 20}, nil
+	}
+	return FTParams{}, fmt.Errorf("npb: ft has no class %q", c)
+}
+
+// fft1 performs an in-place iterative radix-2 FFT of x (length a power of
+// two). sign = -1 for the forward transform, +1 for the inverse; the
+// inverse is unscaled (callers divide by N once, as NPB does).
+func fft1(x []complex128, sign float64) {
+	n := len(x)
+	if n&(n-1) != 0 {
+		panic("npb: fft length not a power of two")
+	}
+	// Bit reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		m := n >> 1
+		for m >= 1 && j&m != 0 {
+			j ^= m
+			m >>= 1
+		}
+		j |= m
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		w := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			wk := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * wk
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				wk *= w
+			}
+		}
+	}
+}
+
+// FTState holds the FT arrays.
+type FTState struct {
+	p        FTParams
+	u0       []complex128 // frequency-space state
+	u1       []complex128 // work array
+	twiddle  []float64    // per-mode evolution factor exponent
+	checksum []complex128
+}
+
+func (s *FTState) idx(i1, i2, i3 int) int {
+	return (i3*s.p.N2+i2)*s.p.N1 + i1
+}
+
+// newFTState draws the initial conditions from the NPB random stream (two
+// deviates per cell, blocked per i3-plane so the stream is layout-stable)
+// and precomputes the evolution exponents.
+func newFTState(p FTParams) *FTState {
+	n := p.N1 * p.N2 * p.N3
+	st := &FTState{
+		p:       p,
+		u0:      make([]complex128, n),
+		u1:      make([]complex128, n),
+		twiddle: make([]float64, n),
+	}
+	perPlane := int64(2 * p.N1 * p.N2)
+	buf := make([]float64, perPlane)
+	for i3 := 0; i3 < p.N3; i3++ {
+		seed := SeedAt(DefaultSeed, A, int64(i3)*perPlane)
+		Vranlc(int(perPlane), &seed, A, buf)
+		for k := 0; k < p.N1*p.N2; k++ {
+			st.u1[i3*p.N1*p.N2+k] = complex(buf[2*k], buf[2*k+1])
+		}
+	}
+	// Evolution factors: exp(-4 alpha pi^2 |kbar|^2 t) with the NPB alpha.
+	const alpha = 1e-6
+	for i3 := 0; i3 < p.N3; i3++ {
+		k3 := i3
+		if k3 >= p.N3/2 {
+			k3 -= p.N3
+		}
+		for i2 := 0; i2 < p.N2; i2++ {
+			k2 := i2
+			if k2 >= p.N2/2 {
+				k2 -= p.N2
+			}
+			for i1 := 0; i1 < p.N1; i1++ {
+				k1 := i1
+				if k1 >= p.N1/2 {
+					k1 -= p.N1
+				}
+				kk := float64(k1*k1 + k2*k2 + k3*k3)
+				st.twiddle[st.idx(i1, i2, i3)] = math.Exp(-4 * alpha * math.Pi * math.Pi * kk)
+			}
+		}
+	}
+	return st
+}
+
+// fft3d transforms data in place along all three dimensions; sign as in
+// fft1. Parallelized over pencils with a barrier between dimensions.
+func (s *FTState) fft3d(team *omp.Team, data []complex128, sign float64) {
+	p := s.p
+	team.Parallel(func(c *omp.Context) {
+		// Dimension 1: contiguous pencils, parallel over (i2, i3).
+		c.ForEach(0, p.N2*p.N3, omp.Static, 0, func(k int) {
+			base := k * p.N1
+			fft1(data[base:base+p.N1], sign)
+		})
+		c.Barrier()
+		// Dimension 2: stride N1 pencils, parallel over (i1, i3).
+		scratch := make([]complex128, p.N2)
+		c.ForEach(0, p.N1*p.N3, omp.Static, 0, func(k int) {
+			i1 := k % p.N1
+			i3 := k / p.N1
+			for i2 := 0; i2 < p.N2; i2++ {
+				scratch[i2] = data[s.idx(i1, i2, i3)]
+			}
+			fft1(scratch, sign)
+			for i2 := 0; i2 < p.N2; i2++ {
+				data[s.idx(i1, i2, i3)] = scratch[i2]
+			}
+		})
+		c.Barrier()
+		// Dimension 3: stride N1*N2 pencils, parallel over (i1, i2).
+		scratch3 := make([]complex128, p.N3)
+		c.ForEach(0, p.N1*p.N2, omp.Static, 0, func(k int) {
+			i1 := k % p.N1
+			i2 := k / p.N1
+			for i3 := 0; i3 < p.N3; i3++ {
+				scratch3[i3] = data[s.idx(i1, i2, i3)]
+			}
+			fft1(scratch3, sign)
+			for i3 := 0; i3 < p.N3; i3++ {
+				data[s.idx(i1, i2, i3)] = scratch3[i3]
+			}
+		})
+		c.Barrier()
+	})
+}
+
+// FTOutput is the FT signature: the per-iteration checksums.
+type FTOutput struct {
+	Checksums []complex128
+}
+
+// RunFT executes the FT benchmark: forward 3-D FFT of the random initial
+// state, then NIter spectral evolution steps, each followed by an inverse
+// 3-D FFT and the NPB 1024-sample checksum.
+func RunFT(p FTParams, threads int) (Result, FTOutput) {
+	st := newFTState(p)
+	team := omp.NewTeam(threads)
+	n := p.N1 * p.N2 * p.N3
+
+	// Forward transform of the initial state into u0.
+	st.fft3d(team, st.u1, -1)
+	copy(st.u0, st.u1)
+
+	var out FTOutput
+	work := make([]complex128, n)
+	for iter := 1; iter <= p.NIter; iter++ {
+		// Evolve in frequency space: u0 *= twiddle (cumulative, as NPB).
+		team.Parallel(func(c *omp.Context) {
+			lo, hi := c.For(0, n)
+			for i := lo; i < hi; i++ {
+				st.u0[i] *= complex(st.twiddle[i], 0)
+				work[i] = st.u0[i]
+			}
+		})
+		// Inverse transform and checksum.
+		st.fft3d(team, work, +1)
+		scale := complex(1/float64(n), 0)
+		var chk complex128
+		for j := 1; j <= 1024; j++ {
+			q := (5 * j) % p.N1
+			r := (3 * j) % p.N2
+			ss := j % p.N3
+			chk += work[st.idx(q, r, ss)] * scale
+		}
+		out.Checksums = append(out.Checksums, chk)
+	}
+
+	last := out.Checksums[len(out.Checksums)-1]
+	ok := !math.IsNaN(real(last)) && !math.IsNaN(imag(last)) && cmplx.Abs(last) > 0
+	return Result{
+		Name:     "FT",
+		Threads:  threads,
+		Verified: ok,
+		Checksum: cmplx.Abs(last),
+		Detail:   fmt.Sprintf("final checksum %.10e%+.10ei", real(last), imag(last)),
+	}, out
+}

@@ -1,0 +1,154 @@
+package npb
+
+import (
+	"fmt"
+
+	"xeonomp/internal/omp"
+)
+
+// ISParams sizes the IS (integer sort) kernel.
+type ISParams struct {
+	TotalKeysLog int // log2 of the number of keys
+	MaxKeyLog    int // log2 of the key range
+	Iterations   int
+}
+
+// ISClass returns the NPB size for the class.
+func ISClass(c Class) (ISParams, error) {
+	switch c {
+	case ClassT:
+		return ISParams{TotalKeysLog: 12, MaxKeyLog: 9, Iterations: 3}, nil
+	case ClassS:
+		return ISParams{TotalKeysLog: 16, MaxKeyLog: 11, Iterations: 10}, nil
+	case ClassW:
+		return ISParams{TotalKeysLog: 20, MaxKeyLog: 16, Iterations: 10}, nil
+	case ClassA:
+		return ISParams{TotalKeysLog: 23, MaxKeyLog: 19, Iterations: 10}, nil
+	case ClassB:
+		return ISParams{TotalKeysLog: 25, MaxKeyLog: 21, Iterations: 10}, nil
+	}
+	return ISParams{}, fmt.Errorf("npb: is has no class %q", c)
+}
+
+// RunIS executes IS: keys with the NPB Gaussian-ish distribution (average
+// of four uniform deviates) are ranked by a parallel stable counting sort
+// for the configured number of iterations; the final ranking is verified to
+// actually sort the keys.
+func RunIS(p ISParams, threads int) Result {
+	n := 1 << p.TotalKeysLog
+	maxKey := 1 << p.MaxKeyLog
+
+	// Key generation follows NPB: k = maxKey/4 * (r1+r2+r3+r4). It is done
+	// serially, as in the reference code (generation is untimed), so the
+	// stream is identical for every thread count.
+	keys := make([]int32, n)
+	seed := DefaultSeed
+	quarter := float64(maxKey) / 4
+	for i := range keys {
+		s := Randlc(&seed, A) + Randlc(&seed, A) + Randlc(&seed, A) + Randlc(&seed, A)
+		k := int32(quarter * s)
+		if k >= int32(maxKey) {
+			k = int32(maxKey) - 1
+		}
+		keys[i] = k
+	}
+
+	team := omp.NewTeam(threads)
+	nt := team.NumThreads()
+	rank := make([]int32, n)
+	hist := make([][]int32, nt)   // per-thread histograms
+	starts := make([][]int32, nt) // per-thread start offset per key
+	global := make([]int32, maxKey)
+	for t := 0; t < nt; t++ {
+		hist[t] = make([]int32, maxKey)
+		starts[t] = make([]int32, maxKey)
+	}
+
+	for iter := 0; iter < p.Iterations; iter++ {
+		// NPB perturbs two keys per iteration so no iteration is a pure
+		// replay of the previous one.
+		keys[iter] = int32(iter)
+		keys[iter+p.Iterations] = int32(maxKey - iter - 1)
+
+		team.Parallel(func(c *omp.Context) {
+			tid := c.TID()
+			h := hist[tid]
+			for i := range h {
+				h[i] = 0
+			}
+			lo, hi := c.For(0, n)
+			for i := lo; i < hi; i++ {
+				h[keys[i]]++
+			}
+			c.Barrier()
+
+			// For this thread's slice of the key range: per-thread start
+			// offsets within each key's run, and the global count.
+			klo, khi := c.For(0, maxKey)
+			for k := klo; k < khi; k++ {
+				var s int32
+				for t := 0; t < nt; t++ {
+					starts[t][k] = s
+					s += hist[t][k]
+				}
+				global[k] = s
+			}
+			c.Barrier()
+
+			// Exclusive prefix over the (small) key range; single thread,
+			// as in the reference code.
+			c.Single(1, func() {
+				var acc int32
+				for k := 0; k < maxKey; k++ {
+					cnt := global[k]
+					global[k] = acc
+					acc += cnt
+				}
+			})
+
+			// Stable rank assignment: this thread's occurrences of key k
+			// start at global[k] + starts[tid][k].
+			cur := starts[tid]
+			for i := lo; i < hi; i++ {
+				k := keys[i]
+				rank[i] = global[k] + cur[k]
+				cur[k]++
+			}
+		})
+	}
+
+	// Verification: scatter by rank and check sortedness and permutation
+	// validity; the checksum is a positional digest of the ranking.
+	sorted := make([]int32, n)
+	seen := make([]bool, n)
+	ok := true
+	for i := 0; i < n; i++ {
+		r := rank[i]
+		if r < 0 || int(r) >= n || seen[r] {
+			ok = false
+			break
+		}
+		seen[r] = true
+		sorted[r] = keys[i]
+	}
+	if ok {
+		for i := 1; i < n; i++ {
+			if sorted[i-1] > sorted[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	var digest float64
+	for i := 0; i < n; i += 997 {
+		digest += float64(rank[i]) * float64(i%131+1)
+	}
+	return Result{
+		Name:     "IS",
+		Class:    "",
+		Threads:  threads,
+		Verified: ok,
+		Checksum: digest,
+		Detail:   fmt.Sprintf("n=%d maxKey=%d iterations=%d", n, maxKey, p.Iterations),
+	}
+}

@@ -1,0 +1,364 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xeonomp/internal/omp"
+)
+
+// MGParams sizes the MG kernel: a 2^Lt cubic grid and NIter V-cycles.
+type MGParams struct {
+	Lt    int // log2 of the grid dimension
+	NIter int
+}
+
+// MGClass returns the NPB size for the class.
+func MGClass(c Class) (MGParams, error) {
+	switch c {
+	case ClassT:
+		return MGParams{Lt: 4, NIter: 2}, nil
+	case ClassS:
+		return MGParams{Lt: 5, NIter: 4}, nil
+	case ClassW:
+		return MGParams{Lt: 6, NIter: 40}, nil
+	case ClassA:
+		return MGParams{Lt: 8, NIter: 4}, nil
+	case ClassB:
+		return MGParams{Lt: 8, NIter: 20}, nil
+	}
+	return MGParams{}, fmt.Errorf("npb: mg has no class %q", c)
+}
+
+// grid is one multigrid level: an n^3 interior with one ghost layer on each
+// side (periodic boundaries), stored row-major as (n+2)^3.
+type grid struct {
+	n    int
+	data []float64
+}
+
+func newGrid(n int) *grid {
+	d := n + 2
+	return &grid{n: n, data: make([]float64, d*d*d)}
+}
+
+func (g *grid) idx(i3, i2, i1 int) int {
+	d := g.n + 2
+	return (i3*d+i2)*d + i1
+}
+
+func (g *grid) at(i3, i2, i1 int) float64     { return g.data[g.idx(i3, i2, i1)] }
+func (g *grid) set(i3, i2, i1 int, v float64) { g.data[g.idx(i3, i2, i1)] = v }
+
+// comm3 refreshes the periodic ghost layers. Threads partition the planes;
+// the caller must barrier afterwards.
+func comm3(g *grid, c *omp.Context) {
+	n := g.n
+	lo, hi := c.For(1, n+1)
+	for i3 := lo; i3 < hi; i3++ {
+		for i2 := 1; i2 <= n; i2++ {
+			g.set(i3, i2, 0, g.at(i3, i2, n))
+			g.set(i3, i2, n+1, g.at(i3, i2, 1))
+		}
+		for i1 := 0; i1 <= n+1; i1++ {
+			g.set(i3, 0, i1, g.at(i3, n, i1))
+			g.set(i3, n+1, i1, g.at(i3, 1, i1))
+		}
+	}
+	c.Barrier()
+	lo2, hi2 := c.For(0, n+2)
+	for i2 := lo2; i2 < hi2; i2++ {
+		for i1 := 0; i1 <= n+1; i1++ {
+			g.set(0, i2, i1, g.at(n, i2, i1))
+			g.set(n+1, i2, i1, g.at(1, i2, i1))
+		}
+	}
+	c.Barrier()
+}
+
+// stencil27 applies the NPB 4-coefficient 27-point stencil of u into out:
+// out = op(u) with coefficient a[0] for the center, a[1] for the 6 faces,
+// a[2] for the 12 edges, a[3] for the 8 corners.
+func stencil27(u *grid, a [4]float64, c *omp.Context, combine func(i3, i2, i1 int, v float64)) {
+	n := u.n
+	lo, hi := c.For(1, n+1)
+	for i3 := lo; i3 < hi; i3++ {
+		for i2 := 1; i2 <= n; i2++ {
+			for i1 := 1; i1 <= n; i1++ {
+				center := u.at(i3, i2, i1)
+				faces := u.at(i3-1, i2, i1) + u.at(i3+1, i2, i1) +
+					u.at(i3, i2-1, i1) + u.at(i3, i2+1, i1) +
+					u.at(i3, i2, i1-1) + u.at(i3, i2, i1+1)
+				edges := u.at(i3-1, i2-1, i1) + u.at(i3-1, i2+1, i1) +
+					u.at(i3+1, i2-1, i1) + u.at(i3+1, i2+1, i1) +
+					u.at(i3-1, i2, i1-1) + u.at(i3-1, i2, i1+1) +
+					u.at(i3+1, i2, i1-1) + u.at(i3+1, i2, i1+1) +
+					u.at(i3, i2-1, i1-1) + u.at(i3, i2-1, i1+1) +
+					u.at(i3, i2+1, i1-1) + u.at(i3, i2+1, i1+1)
+				corners := u.at(i3-1, i2-1, i1-1) + u.at(i3-1, i2-1, i1+1) +
+					u.at(i3-1, i2+1, i1-1) + u.at(i3-1, i2+1, i1+1) +
+					u.at(i3+1, i2-1, i1-1) + u.at(i3+1, i2-1, i1+1) +
+					u.at(i3+1, i2+1, i1-1) + u.at(i3+1, i2+1, i1+1)
+				combine(i3, i2, i1, a[0]*center+a[1]*faces+a[2]*edges+a[3]*corners)
+			}
+		}
+	}
+	c.Barrier()
+}
+
+// The NPB operator coefficients.
+var (
+	mgA = [4]float64{-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0}   // A (Laplacian-like)
+	mgC = [4]float64{-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0} // S (smoother)
+)
+
+// MGState carries the multigrid hierarchy.
+type MGState struct {
+	lt   int
+	u, r []*grid // per level, index 1..lt (0 unused)
+	v    *grid   // right-hand side at the top level
+}
+
+// newMGState builds the hierarchy and the NPB-style right-hand side: +1 at
+// the ten "largest" pseudo-random points and -1 at the ten "smallest".
+func newMGState(p MGParams) *MGState {
+	st := &MGState{lt: p.Lt}
+	st.u = make([]*grid, p.Lt+1)
+	st.r = make([]*grid, p.Lt+1)
+	for l := 1; l <= p.Lt; l++ {
+		st.u[l] = newGrid(1 << l)
+		st.r[l] = newGrid(1 << l)
+	}
+	n := 1 << p.Lt
+	st.v = newGrid(n)
+
+	// zran3-style charges: rank n^3 pseudo-random values, +1 at the 10
+	// largest, -1 at the 10 smallest. We draw one value per cell from the
+	// randlc stream and track the extremes.
+	type pv struct {
+		val        float64
+		i3, i2, i1 int
+	}
+	var all []pv
+	seed := DefaultSeed
+	for i3 := 1; i3 <= n; i3++ {
+		for i2 := 1; i2 <= n; i2++ {
+			for i1 := 1; i1 <= n; i1++ {
+				all = append(all, pv{Randlc(&seed, A), i3, i2, i1})
+			}
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].val < all[b].val })
+	for k := 0; k < 10 && k < len(all); k++ {
+		p := all[k]
+		st.v.set(p.i3, p.i2, p.i1, -1)
+		q := all[len(all)-1-k]
+		st.v.set(q.i3, q.i2, q.i1, +1)
+	}
+	return st
+}
+
+// MGOutput is the MG signature.
+type MGOutput struct {
+	RNorm  float64
+	RNorms []float64 // after each V-cycle
+}
+
+// RunMG executes the MG benchmark: NIter V-cycles of the NPB multigrid
+// algorithm (resid, rprj3 restriction, psinv smoothing, interp
+// prolongation) on a periodic cube, parallelized over grid planes.
+func RunMG(p MGParams, threads int) (Result, MGOutput) {
+	st := newMGState(p)
+	team := omp.NewTeam(threads)
+	red := omp.NewReduceFloat64()
+	sum := func(a, b float64) float64 { return a + b }
+	var out MGOutput
+
+	norm := func() float64 {
+		var total float64
+		team.Parallel(func(c *omp.Context) {
+			n := st.r[st.lt].n
+			lo, hi := c.For(1, n+1)
+			var local float64
+			for i3 := lo; i3 < hi; i3++ {
+				for i2 := 1; i2 <= n; i2++ {
+					for i1 := 1; i1 <= n; i1++ {
+						v := st.r[st.lt].at(i3, i2, i1)
+						local += v * v
+					}
+				}
+			}
+			t := red.Combine(c, local, sum)
+			c.Master(func() { total = t })
+			c.Barrier()
+		})
+		n := st.r[st.lt].n
+		return math.Sqrt(total / float64(n*n*n))
+	}
+
+	// r = v - A u at the top level.
+	residTop := func(c *omp.Context) {
+		top := st.lt
+		comm3(st.u[top], c)
+		stencil27(st.u[top], mgA, c, func(i3, i2, i1 int, v float64) {
+			st.r[top].set(i3, i2, i1, st.v.at(i3, i2, i1)-v)
+		})
+	}
+
+	team.Parallel(func(c *omp.Context) { residTop(c) })
+	out.RNorms = append(out.RNorms, norm())
+
+	for it := 0; it < p.NIter; it++ {
+		team.Parallel(func(c *omp.Context) {
+			// Down sweep: restrict the residual to the bottom.
+			for l := st.lt; l > 1; l-- {
+				rprj3(st.r[l], st.r[l-1], c)
+			}
+			// Bottom solve: one smoothing application on the coarsest grid.
+			zero(st.u[1], c)
+			comm3(st.r[1], c)
+			stencil27(st.r[1], mgC, c, func(i3, i2, i1 int, v float64) {
+				st.u[1].set(i3, i2, i1, v)
+			})
+			// Up sweep below the top: u_l is the CORRECTION at level l.
+			for l := 2; l < st.lt; l++ {
+				zero(st.u[l], c)
+				interpAdd(st.u[l-1], st.u[l], c)
+				// r_l = r_l - A u_l  (defect correction)
+				comm3(st.u[l], c)
+				stencil27(st.u[l], mgA, c, func(i3, i2, i1 int, v float64) {
+					st.r[l].set(i3, i2, i1, st.r[l].at(i3, i2, i1)-v)
+				})
+				// u_l = u_l + S r_l
+				comm3(st.r[l], c)
+				stencil27(st.r[l], mgC, c, func(i3, i2, i1 int, v float64) {
+					st.u[l].set(i3, i2, i1, st.u[l].at(i3, i2, i1)+v)
+				})
+			}
+			// Top level: the accumulated SOLUTION is corrected in place —
+			// u += interp(e), r = v - A u, u += S r, as in the NPB mg3P.
+			if st.lt >= 2 {
+				interpAdd(st.u[st.lt-1], st.u[st.lt], c)
+			}
+			residTop(c)
+			comm3(st.r[st.lt], c)
+			stencil27(st.r[st.lt], mgC, c, func(i3, i2, i1 int, v float64) {
+				st.u[st.lt].set(i3, i2, i1, st.u[st.lt].at(i3, i2, i1)+v)
+			})
+			// Final residual feeds the next cycle and the norm.
+			residTop(c)
+		})
+		out.RNorms = append(out.RNorms, norm())
+	}
+
+	out.RNorm = out.RNorms[len(out.RNorms)-1]
+	ok := !math.IsNaN(out.RNorm) && out.RNorm < out.RNorms[0]
+	return Result{
+		Name:     "MG",
+		Threads:  threads,
+		Verified: ok,
+		Checksum: out.RNorm,
+		Detail:   fmt.Sprintf("rnorm %0.3e -> %0.3e over %d cycles", out.RNorms[0], out.RNorm, p.NIter),
+	}, out
+}
+
+// zero clears a grid's interior and ghosts.
+func zero(g *grid, c *omp.Context) {
+	d := g.n + 2
+	lo, hi := c.For(0, d)
+	for i3 := lo; i3 < hi; i3++ {
+		base := i3 * d * d
+		for k := base; k < base+d*d; k++ {
+			g.data[k] = 0
+		}
+	}
+	c.Barrier()
+}
+
+// rprj3 restricts fine (n) to coarse (n/2) with the NPB full-weighting
+// operator.
+func rprj3(fine, coarse *grid, c *omp.Context) {
+	comm3(fine, c)
+	n := coarse.n
+	lo, hi := c.For(1, n+1)
+	for j3 := lo; j3 < hi; j3++ {
+		i3 := 2 * j3
+		for j2 := 1; j2 <= n; j2++ {
+			i2 := 2 * j2
+			for j1 := 1; j1 <= n; j1++ {
+				i1 := 2 * j1
+				var faces, edges, corners float64
+				for _, d := range [][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}} {
+					faces += fine.at(i3+d[0], i2+d[1], i1+d[2])
+				}
+				for _, d := range [][3]int{
+					{-1, -1, 0}, {-1, 1, 0}, {1, -1, 0}, {1, 1, 0},
+					{-1, 0, -1}, {-1, 0, 1}, {1, 0, -1}, {1, 0, 1},
+					{0, -1, -1}, {0, -1, 1}, {0, 1, -1}, {0, 1, 1}} {
+					edges += fine.at(i3+d[0], i2+d[1], i1+d[2])
+				}
+				for _, d := range [][3]int{
+					{-1, -1, -1}, {-1, -1, 1}, {-1, 1, -1}, {-1, 1, 1},
+					{1, -1, -1}, {1, -1, 1}, {1, 1, -1}, {1, 1, 1}} {
+					corners += fine.at(i3+d[0], i2+d[1], i1+d[2])
+				}
+				coarse.set(j3, j2, j1,
+					0.5*fine.at(i3, i2, i1)+0.25*faces/2+0.125*edges/4+0.0625*corners/8)
+			}
+		}
+	}
+	c.Barrier()
+}
+
+// interpAdd adds the trilinear prolongation of coarse into fine, in gather
+// form (each thread writes only its own fine planes, so no synchronization
+// beyond the surrounding barriers is needed). Odd fine indices are
+// co-located with a coarse cell; even ones average their two coarse
+// neighbours, using the periodic ghost layer.
+func interpAdd(coarse, fine *grid, c *omp.Context) {
+	comm3(coarse, c)
+	n := fine.n
+	// contrib returns the (up to two) coarse indices and weights feeding
+	// fine index i in one dimension.
+	contrib := func(i int) (j1, j2 int, w1, w2 float64) {
+		if i%2 == 1 {
+			return (i + 1) / 2, 0, 1, 0
+		}
+		return i / 2, i/2 + 1, 0.5, 0.5
+	}
+	lo, hi := c.For(1, n+1)
+	for i3 := lo; i3 < hi; i3++ {
+		a3, b3, wa3, wb3 := contrib(i3)
+		for i2 := 1; i2 <= n; i2++ {
+			a2, b2, wa2, wb2 := contrib(i2)
+			for i1 := 1; i1 <= n; i1++ {
+				a1, b1, wa1, wb1 := contrib(i1)
+				var v float64
+				for _, p3 := range [2]struct {
+					j int
+					w float64
+				}{{a3, wa3}, {b3, wb3}} {
+					if p3.w == 0 {
+						continue
+					}
+					for _, p2 := range [2]struct {
+						j int
+						w float64
+					}{{a2, wa2}, {b2, wb2}} {
+						if p2.w == 0 {
+							continue
+						}
+						if wa1 == 1 {
+							v += p3.w * p2.w * coarse.at(p3.j, p2.j, a1)
+						} else {
+							v += p3.w * p2.w * (wa1*coarse.at(p3.j, p2.j, a1) + wb1*coarse.at(p3.j, p2.j, b1))
+						}
+					}
+				}
+				fine.data[fine.idx(i3, i2, i1)] += v
+			}
+		}
+	}
+	c.Barrier()
+}

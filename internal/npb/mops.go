@@ -1,0 +1,68 @@
+package npb
+
+import "time"
+
+// Operation counts for the Mop/s figures the NPB output footer reports.
+// The formulas follow the published NPB operation-count conventions where
+// they exist (EP, IS, CG, MG, FT); the compact pseudo-applications count
+// the stencil and solver operations they actually perform.
+
+// EPOps returns the nominal operation count of an EP run.
+func EPOps(p EPParams) float64 {
+	// NPB counts the Gaussian-pair generation as the workload.
+	return float64(int64(1) << p.M)
+}
+
+// ISOps returns the nominal operation count of an IS run (keys ranked per
+// iteration).
+func ISOps(p ISParams) float64 {
+	return float64(int64(1)<<p.TotalKeysLog) * float64(p.Iterations)
+}
+
+// CGOps returns the floating-point operation count of a CG run: per inner
+// CG iteration, one SpMV (2 flops per nonzero) plus vector updates.
+func CGOps(p CGParams, nnz int) float64 {
+	const cgitmax = 25
+	perIt := 2*float64(nnz) + 10*float64(p.NA)
+	return float64(p.NIter) * cgitmax * perIt
+}
+
+// MGOps returns the stencil operation count of an MG run: each 27-point
+// stencil application costs ~27 multiply-adds per cell, applied over the
+// V-cycle hierarchy (sum over levels of n^3 is < (8/7) n_top^3 per operator
+// pass; four operator passes per level per cycle is a close NPB-style
+// estimate).
+func MGOps(p MGParams) float64 {
+	n := float64(int64(1) << p.Lt)
+	cells := n * n * n * 8 / 7
+	return float64(p.NIter) * 4 * 27 * cells
+}
+
+// FTOps returns the operation count of an FT run: 5*N*log2(N) per 3-D FFT
+// (the standard FFT count) plus the evolve multiply, per iteration.
+func FTOps(p FTParams) float64 {
+	n := float64(p.N1 * p.N2 * p.N3)
+	logN := 0.0
+	for s := p.N1 * p.N2 * p.N3; s > 1; s >>= 1 {
+		logN++
+	}
+	return float64(p.NIter) * (5*n*logN + 6*n)
+}
+
+// AppOps returns the operation count of one pseudo-application run: the
+// residual (27 ops/cell/component) plus the solver sweeps (~3 dimensional
+// passes at ~10 ops per cell per component).
+func AppOps(p AppParams) float64 {
+	cells := float64(p.N * p.N * p.N * appComps)
+	perIter := 27*cells + 3*10*cells
+	return float64(p.NIter) * perIter
+}
+
+// Mops converts an operation count and wall time into the NPB Mop/s figure.
+func Mops(ops float64, elapsed time.Duration) float64 {
+	s := elapsed.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return ops / s / 1e6
+}

@@ -1,0 +1,484 @@
+package npb
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRandlcRange(t *testing.T) {
+	seed := DefaultSeed
+	for i := 0; i < 10000; i++ {
+		v := Randlc(&seed, A)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("randlc out of (0,1): %v at step %d", v, i)
+		}
+	}
+}
+
+func TestRandlcDeterministic(t *testing.T) {
+	s1, s2 := DefaultSeed, DefaultSeed
+	for i := 0; i < 1000; i++ {
+		if Randlc(&s1, A) != Randlc(&s2, A) {
+			t.Fatal("randlc not deterministic")
+		}
+	}
+}
+
+func TestRandlcMean(t *testing.T) {
+	seed := DefaultSeed
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += Randlc(&seed, A)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("randlc mean %v, want ~0.5", mean)
+	}
+}
+
+func TestSeedAtMatchesStepping(t *testing.T) {
+	for _, k := range []int64{0, 1, 2, 3, 17, 64, 1000, 65536} {
+		want := DefaultSeed
+		for i := int64(0); i < k; i++ {
+			Randlc(&want, A)
+		}
+		got := SeedAt(DefaultSeed, A, k)
+		if got != want {
+			t.Fatalf("SeedAt(%d) = %v, stepping gives %v", k, got, want)
+		}
+	}
+}
+
+func TestSeedAtProperty(t *testing.T) {
+	f := func(k uint16) bool {
+		want := DefaultSeed
+		for i := 0; i < int(k); i++ {
+			Randlc(&want, A)
+		}
+		return SeedAt(DefaultSeed, A, int64(k)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// threadCounts are the team sizes exercised for serial/parallel equality.
+var threadCounts = []int{1, 2, 3, 4, 8}
+
+func TestEPVerifiesAndMatchesSerial(t *testing.T) {
+	p, err := EPClass(ClassT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, refOut := RunEP(p, 1)
+	if !ref.Verified {
+		t.Fatalf("serial EP failed verification: %s", ref.Detail)
+	}
+	for _, n := range threadCounts[1:] {
+		r, out := RunEP(p, n)
+		if !r.Verified {
+			t.Errorf("EP threads=%d failed verification: %s", n, r.Detail)
+		}
+		if out.Pairs != refOut.Pairs || out.Q != refOut.Q {
+			t.Errorf("EP threads=%d counts diverge from serial: %+v vs %+v", n, out, refOut)
+		}
+		// Sums may differ in association order only (NPB verifies EP with
+		// a relative epsilon for the same reason).
+		if !almostEqual(out.SX, refOut.SX, 1e-12) || !almostEqual(out.SY, refOut.SY, 1e-12) {
+			t.Errorf("EP threads=%d sums diverge beyond tolerance: %+v vs %+v", n, out, refOut)
+		}
+	}
+}
+
+func TestEPAnnulusCounts(t *testing.T) {
+	p, _ := EPClass(ClassT)
+	_, out := RunEP(p, 2)
+	var qsum float64
+	for i, q := range out.Q {
+		if q < 0 {
+			t.Fatalf("negative annulus count q[%d]=%v", i, q)
+		}
+		qsum += q
+	}
+	if qsum != float64(out.Pairs) {
+		t.Fatalf("annulus counts %v do not sum to accepted pairs %d", qsum, out.Pairs)
+	}
+	// The low annuli must dominate for Gaussian deviates.
+	if out.Q[0] < out.Q[2] {
+		t.Fatalf("annulus histogram not decreasing: %v", out.Q)
+	}
+}
+
+func TestISVerifiesAndMatchesSerial(t *testing.T) {
+	p, err := ISClass(ClassT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := RunIS(p, 1)
+	if !ref.Verified {
+		t.Fatalf("serial IS failed verification: %s", ref.Detail)
+	}
+	for _, n := range threadCounts[1:] {
+		r := RunIS(p, n)
+		if !r.Verified {
+			t.Errorf("IS threads=%d failed verification: %s", n, r.Detail)
+		}
+		if r.Checksum != ref.Checksum {
+			t.Errorf("IS threads=%d digest %v != serial %v", n, r.Checksum, ref.Checksum)
+		}
+	}
+}
+
+func TestCGVerifiesAndMatchesSerial(t *testing.T) {
+	p, err := CGClass(ClassT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, refOut := RunCG(p, 1)
+	if !ref.Verified {
+		t.Fatalf("serial CG failed verification: %s", ref.Detail)
+	}
+	for _, n := range threadCounts[1:] {
+		r, out := RunCG(p, n)
+		if !r.Verified {
+			t.Errorf("CG threads=%d failed verification: %s", n, r.Detail)
+		}
+		if !almostEqual(out.Zeta, refOut.Zeta, 1e-10) {
+			t.Errorf("CG threads=%d zeta %v != serial %v", n, out.Zeta, refOut.Zeta)
+		}
+	}
+}
+
+func TestCGInnerResidualConverges(t *testing.T) {
+	p, _ := CGClass(ClassT)
+	_, out := RunCG(p, 2)
+	for i, rn := range out.RNorms {
+		if rn > 1e-6 {
+			t.Fatalf("outer iteration %d inner residual %v did not converge", i, rn)
+		}
+	}
+}
+
+func TestMGVerifiesAndMatchesSerial(t *testing.T) {
+	p, err := MGClass(ClassT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, refOut := RunMG(p, 1)
+	if !ref.Verified {
+		t.Fatalf("serial MG failed verification: %s", ref.Detail)
+	}
+	for _, n := range threadCounts[1:] {
+		r, out := RunMG(p, n)
+		if !r.Verified {
+			t.Errorf("MG threads=%d failed verification: %s", n, r.Detail)
+		}
+		if !almostEqual(out.RNorm, refOut.RNorm, 1e-9) {
+			t.Errorf("MG threads=%d rnorm %v != serial %v", n, out.RNorm, refOut.RNorm)
+		}
+	}
+}
+
+func TestMGResidualDecreasesEachCycle(t *testing.T) {
+	p, _ := MGClass(ClassT)
+	_, out := RunMG(p, 2)
+	for i := 1; i < len(out.RNorms); i++ {
+		if out.RNorms[i] >= out.RNorms[i-1] {
+			t.Fatalf("V-cycle %d did not reduce the residual: %v", i, out.RNorms)
+		}
+	}
+}
+
+func TestFFT1RoundTrip(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := 64
+		x := make([]complex128, n)
+		s := float64(seed%100000) + 1
+		for i := range x {
+			x[i] = complex(Randlc(&s, A)-0.5, Randlc(&s, A)-0.5)
+		}
+		orig := append([]complex128(nil), x...)
+		fft1(x, -1)
+		fft1(x, +1)
+		for i := range x {
+			if cmplx.Abs(x[i]/complex(float64(n), 0)-orig[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFT1Parseval(t *testing.T) {
+	n := 128
+	x := make([]complex128, n)
+	s := DefaultSeed
+	var timeEnergy float64
+	for i := range x {
+		x[i] = complex(Randlc(&s, A)-0.5, Randlc(&s, A)-0.5)
+		timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	fft1(x, -1)
+	var freqEnergy float64
+	for i := range x {
+		freqEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if !almostEqual(freqEnergy, timeEnergy*float64(n), 1e-10) {
+		t.Fatalf("Parseval violated: %v vs %v", freqEnergy, timeEnergy*float64(n))
+	}
+}
+
+func TestFTVerifiesAndMatchesSerial(t *testing.T) {
+	p, err := FTClass(ClassT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, refOut := RunFT(p, 1)
+	if !ref.Verified {
+		t.Fatalf("serial FT failed verification: %s", ref.Detail)
+	}
+	for _, n := range threadCounts[1:] {
+		r, out := RunFT(p, n)
+		if !r.Verified {
+			t.Errorf("FT threads=%d failed verification: %s", n, r.Detail)
+		}
+		for i := range refOut.Checksums {
+			if cmplx.Abs(out.Checksums[i]-refOut.Checksums[i]) > 1e-9 {
+				t.Errorf("FT threads=%d checksum %d diverges: %v vs %v",
+					n, i, out.Checksums[i], refOut.Checksums[i])
+			}
+		}
+	}
+}
+
+func TestPentaSolveAgainstDense(t *testing.T) {
+	// Verify the banded elimination against a brute-force dense solve.
+	n := 12
+	const sigma = appSigma
+	const tau = appSigma / 12
+	d := 1 + 2*sigma + 6*tau
+	cc := -sigma - 4*tau
+	e := tau
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+		dense[i][i] = d
+		if i+1 < n {
+			dense[i][i+1] = cc
+		}
+		if i-1 >= 0 {
+			dense[i][i-1] = cc
+		}
+		if i+2 < n {
+			dense[i][i+2] = e
+		}
+		if i-2 >= 0 {
+			dense[i][i-2] = e
+		}
+	}
+	rhs := make([]float64, n)
+	s := DefaultSeed
+	for i := range rhs {
+		rhs[i] = Randlc(&s, A) - 0.5
+	}
+	x := append([]float64(nil), rhs...)
+	pentaSolve(x, make([]float64, 2*n))
+	// Check A x = rhs.
+	for i := 0; i < n; i++ {
+		var got float64
+		for j := 0; j < n; j++ {
+			got += dense[i][j] * x[j]
+		}
+		if math.Abs(got-rhs[i]) > 1e-10 {
+			t.Fatalf("penta solve row %d: A x = %v, want %v", i, got, rhs[i])
+		}
+	}
+}
+
+func TestInvert5(t *testing.T) {
+	m := appCoupling
+	inv := invert5(&m)
+	for i := 0; i < appComps; i++ {
+		for j := 0; j < appComps; j++ {
+			var s float64
+			for k := 0; k < appComps; k++ {
+				s += m[i][k] * inv[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-12 {
+				t.Fatalf("invert5: (M * inv)[%d][%d] = %v", i, j, s)
+			}
+		}
+	}
+}
+
+func TestPseudoAppsVerifyAndMatchSerial(t *testing.T) {
+	p, err := AppClass(ClassT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type runner func(AppParams, int) (Result, AppOutput)
+	for _, bench := range []struct {
+		name string
+		run  runner
+	}{
+		{"BT", RunBT},
+		{"SP", RunSP},
+		{"LU", RunLU},
+	} {
+		ref, refOut := bench.run(p, 1)
+		if !ref.Verified {
+			t.Fatalf("serial %s failed verification: %s", bench.name, ref.Detail)
+		}
+		for _, n := range []int{2, 4} {
+			r, out := bench.run(p, n)
+			if !r.Verified {
+				t.Errorf("%s threads=%d failed verification: %s", bench.name, n, r.Detail)
+			}
+			if !almostEqual(out.Final, refOut.Final, 1e-9) {
+				t.Errorf("%s threads=%d residual %v != serial %v", bench.name, n, out.Final, refOut.Final)
+			}
+		}
+	}
+}
+
+func TestPseudoAppsConvergeToSameSolution(t *testing.T) {
+	// All three solvers attack the same system; with enough iterations the
+	// residuals must all fall well below the initial norm.
+	p, _ := AppClass(ClassT)
+	p.NIter = 12
+	_, bt := RunBT(p, 2)
+	_, sp := RunSP(p, 2)
+	_, lu := RunLU(p, 2)
+	start := bt.RNorms[0]
+	for _, o := range []AppOutput{bt, sp, lu} {
+		if o.RNorms[0] != start {
+			t.Fatalf("initial residuals differ: %v vs %v", o.RNorms[0], start)
+		}
+		if o.Final > start*0.2 {
+			t.Errorf("solver did not make progress: %v -> %v", start, o.Final)
+		}
+	}
+}
+
+func TestClassTables(t *testing.T) {
+	for _, c := range []Class{ClassT, ClassS, ClassW, ClassA, ClassB} {
+		if !c.Valid() {
+			t.Fatalf("class %q invalid", c)
+		}
+		if _, err := EPClass(c); err != nil {
+			t.Error(err)
+		}
+		if _, err := ISClass(c); err != nil {
+			t.Error(err)
+		}
+		if _, err := CGClass(c); err != nil {
+			t.Error(err)
+		}
+		if _, err := MGClass(c); err != nil {
+			t.Error(err)
+		}
+		if _, err := FTClass(c); err != nil {
+			t.Error(err)
+		}
+		if _, err := AppClass(c); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := EPClass(Class("Z")); err == nil {
+		t.Error("expected error for unknown class")
+	}
+}
+
+func TestMopsCounts(t *testing.T) {
+	ep, _ := EPClass(ClassS)
+	is, _ := ISClass(ClassS)
+	cg, _ := CGClass(ClassS)
+	mg, _ := MGClass(ClassS)
+	ft, _ := FTClass(ClassS)
+	app, _ := AppClass(ClassS)
+	for name, ops := range map[string]float64{
+		"EP": EPOps(ep), "IS": ISOps(is), "CG": CGOps(cg, 10*cg.NA),
+		"MG": MGOps(mg), "FT": FTOps(ft), "App": AppOps(app),
+	} {
+		if ops <= 0 {
+			t.Errorf("%s op count %v", name, ops)
+		}
+	}
+	// Bigger classes mean more operations.
+	epB, _ := EPClass(ClassB)
+	if EPOps(epB) <= EPOps(ep) {
+		t.Error("class B EP must cost more than class S")
+	}
+	if Mops(1e6, time.Second) != 1 {
+		t.Error("Mops conversion wrong")
+	}
+	if Mops(1e6, 0) != 0 {
+		t.Error("zero-time Mops should be 0")
+	}
+}
+
+// TestClassWVerifies runs every kernel at class W with a parallel team and
+// checks verification plus serial agreement — the heavyweight functional
+// test, skipped in -short mode.
+func TestClassWVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W functional study not run in -short mode")
+	}
+	check := func(name string, serial, parallel Result, tol float64) {
+		t.Helper()
+		if !serial.Verified {
+			t.Errorf("%s class W serial failed: %s", name, serial.Detail)
+		}
+		if !parallel.Verified {
+			t.Errorf("%s class W parallel failed: %s", name, parallel.Detail)
+		}
+		if !almostEqual(serial.Checksum, parallel.Checksum, tol) {
+			t.Errorf("%s class W checksum diverges: %v vs %v", name, serial.Checksum, parallel.Checksum)
+		}
+	}
+
+	ep, _ := EPClass(ClassW)
+	s1, _ := RunEP(ep, 1)
+	p1, _ := RunEP(ep, 4)
+	check("EP", s1, p1, 1e-12)
+
+	is, _ := ISClass(ClassW)
+	check("IS", RunIS(is, 1), RunIS(is, 4), 0)
+
+	cg, _ := CGClass(ClassW)
+	s2, _ := RunCG(cg, 1)
+	p2, _ := RunCG(cg, 4)
+	check("CG", s2, p2, 1e-9)
+
+	mg, _ := MGClass(ClassW)
+	s3, _ := RunMG(mg, 1)
+	p3, _ := RunMG(mg, 4)
+	check("MG", s3, p3, 1e-9)
+
+	ft, _ := FTClass(ClassW)
+	s4, _ := RunFT(ft, 1)
+	p4, _ := RunFT(ft, 4)
+	check("FT", s4, p4, 1e-9)
+
+	app, _ := AppClass(ClassW)
+	s5, _ := RunBT(app, 1)
+	p5, _ := RunBT(app, 4)
+	check("BT", s5, p5, 1e-9)
+	s6, _ := RunSP(app, 1)
+	p6, _ := RunSP(app, 4)
+	check("SP", s6, p6, 1e-9)
+	s7, _ := RunLU(app, 1)
+	p7, _ := RunLU(app, 4)
+	check("LU", s7, p7, 1e-9)
+}

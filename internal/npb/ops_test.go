@@ -1,0 +1,259 @@
+package npb
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"xeonomp/internal/omp"
+)
+
+// fillConst sets a grid's interior (and ghosts, via comm3 semantics) to v.
+func fillConst(g *grid, v float64) {
+	for i := range g.data {
+		g.data[i] = v
+	}
+}
+
+func TestStencilAOfConstantIsZero(t *testing.T) {
+	// The NPB A-operator coefficients sum to zero over the 27-point
+	// stencil (-8/3 + 6*0 + 12/6 + 8/12 = 0), so A applied to a constant
+	// field vanishes — the discrete Laplacian property.
+	g := newGrid(8)
+	fillConst(g, 3.7)
+	out := newGrid(8)
+	team := omp.NewTeam(2)
+	team.Parallel(func(c *omp.Context) {
+		comm3(g, c)
+		stencil27(g, mgA, c, func(i3, i2, i1 int, v float64) {
+			out.set(i3, i2, i1, v)
+		})
+	})
+	for i3 := 1; i3 <= 8; i3++ {
+		for i2 := 1; i2 <= 8; i2++ {
+			for i1 := 1; i1 <= 8; i1++ {
+				if math.Abs(out.at(i3, i2, i1)) > 1e-12 {
+					t.Fatalf("A(const) = %v at (%d,%d,%d)", out.at(i3, i2, i1), i3, i2, i1)
+				}
+			}
+		}
+	}
+}
+
+func TestComm3Periodicity(t *testing.T) {
+	g := newGrid(4)
+	// Put distinct values in the interior.
+	v := 1.0
+	for i3 := 1; i3 <= 4; i3++ {
+		for i2 := 1; i2 <= 4; i2++ {
+			for i1 := 1; i1 <= 4; i1++ {
+				g.set(i3, i2, i1, v)
+				v++
+			}
+		}
+	}
+	team := omp.NewTeam(3)
+	team.Parallel(func(c *omp.Context) { comm3(g, c) })
+	for i3 := 1; i3 <= 4; i3++ {
+		for i2 := 1; i2 <= 4; i2++ {
+			if g.at(i3, i2, 0) != g.at(i3, i2, 4) || g.at(i3, i2, 5) != g.at(i3, i2, 1) {
+				t.Fatal("i1 ghosts not periodic")
+			}
+		}
+	}
+	for i2 := 0; i2 <= 5; i2++ {
+		for i1 := 0; i1 <= 5; i1++ {
+			if g.at(0, i2, i1) != g.at(4, i2, i1) || g.at(5, i2, i1) != g.at(1, i2, i1) {
+				t.Fatal("i3 ghosts not periodic")
+			}
+		}
+	}
+}
+
+func TestRprj3OfConstant(t *testing.T) {
+	// Full-weighting of a constant field scales it by the stencil's total
+	// weight (0.5 + 6/8 + 12/32 + 8/128 = 1.6875).
+	fine := newGrid(8)
+	fillConst(fine, 2.0)
+	coarse := newGrid(4)
+	team := omp.NewTeam(2)
+	team.Parallel(func(c *omp.Context) { rprj3(fine, coarse, c) })
+	want := 2.0 * 1.6875
+	for i3 := 1; i3 <= 4; i3++ {
+		for i2 := 1; i2 <= 4; i2++ {
+			for i1 := 1; i1 <= 4; i1++ {
+				if math.Abs(coarse.at(i3, i2, i1)-want) > 1e-12 {
+					t.Fatalf("rprj3(const) = %v, want %v", coarse.at(i3, i2, i1), want)
+				}
+			}
+		}
+	}
+}
+
+func TestInterpAddOfConstant(t *testing.T) {
+	// Trilinear prolongation preserves a constant (per-dimension weights
+	// sum to 1), and interpAdd ADDS it to the fine grid.
+	coarse := newGrid(4)
+	fillConst(coarse, 1.5)
+	fine := newGrid(8)
+	fillConst(fine, 0.25)
+	team := omp.NewTeam(2)
+	team.Parallel(func(c *omp.Context) { interpAdd(coarse, fine, c) })
+	for i3 := 1; i3 <= 8; i3++ {
+		for i2 := 1; i2 <= 8; i2++ {
+			for i1 := 1; i1 <= 8; i1++ {
+				if math.Abs(fine.at(i3, i2, i1)-1.75) > 1e-12 {
+					t.Fatalf("interp(const)+0.25 = %v at (%d,%d,%d), want 1.75",
+						fine.at(i3, i2, i1), i3, i2, i1)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyAOfConstantAtCenter(t *testing.T) {
+	// Away from the Dirichlet boundary the Laplacian of a constant is
+	// zero, so A(const) = (eps + kappa * rowsum(C)) * const.
+	n := 8
+	u := newField(n)
+	for m := 0; m < appComps; m++ {
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				for k := 1; k <= n; k++ {
+					u.set(m, i, j, k, 2.0)
+				}
+			}
+		}
+	}
+	out := newField(n)
+	team := omp.NewTeam(2)
+	team.Parallel(func(c *omp.Context) { applyA(u, out, c) })
+	for m := 0; m < appComps; m++ {
+		var rowsum float64
+		for mm := 0; mm < appComps; mm++ {
+			rowsum += appCoupling[m][mm]
+		}
+		want := (appEps + appKappa*rowsum) * 2.0
+		got := out.at(m, n/2, n/2, n/2)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("component %d: A(const) center = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestBlockTriSolveAgainstOperator(t *testing.T) {
+	// Solve the block-tridiagonal system and verify M x = rhs by applying
+	// the operator directly.
+	n := 9
+	const sigma = appSigma
+	var diag [appComps][appComps]float64
+	for a := 0; a < appComps; a++ {
+		for b := 0; b < appComps; b++ {
+			diag[a][b] = sigma * appKappa * appCoupling[a][b]
+			if a == b {
+				diag[a][b] += 1 + 2*sigma
+			}
+		}
+	}
+	rhs := make([][appComps]float64, n)
+	s := DefaultSeed
+	for i := range rhs {
+		for m := 0; m < appComps; m++ {
+			rhs[i][m] = Randlc(&s, A) - 0.5
+		}
+	}
+	x := make([][appComps]float64, n)
+	copy(x, rhs)
+	blockTriSolve(x, &diag)
+	for i := 0; i < n; i++ {
+		for a := 0; a < appComps; a++ {
+			var got float64
+			for b := 0; b < appComps; b++ {
+				got += diag[a][b] * x[i][b]
+			}
+			if i > 0 {
+				got += -sigma * x[i-1][a]
+			}
+			if i+1 < n {
+				got += -sigma * x[i+1][a]
+			}
+			if math.Abs(got-rhs[i][a]) > 1e-10 {
+				t.Fatalf("row %d comp %d: Mx = %v, want %v", i, a, got, rhs[i][a])
+			}
+		}
+	}
+}
+
+func TestFTChecksumMagnitudeEvolves(t *testing.T) {
+	// The evolution factors are exp(-c*|k|^2) <= 1, so spectral energy is
+	// non-increasing and so (up to sampling) is the checksum magnitude.
+	p, _ := FTClass(ClassT)
+	p.NIter = 4
+	_, out := RunFT(p, 2)
+	if len(out.Checksums) != 4 {
+		t.Fatalf("%d checksums", len(out.Checksums))
+	}
+	first := cmplx.Abs(out.Checksums[0])
+	last := cmplx.Abs(out.Checksums[len(out.Checksums)-1])
+	if last > first {
+		t.Fatalf("checksum magnitude grew: %v -> %v", first, last)
+	}
+}
+
+func TestFTTwiddleRange(t *testing.T) {
+	p, _ := FTClass(ClassT)
+	st := newFTState(p)
+	for i, w := range st.twiddle {
+		if w <= 0 || w > 1 {
+			t.Fatalf("twiddle[%d] = %v outside (0,1]", i, w)
+		}
+	}
+	// The zero mode is untouched by evolution.
+	if st.twiddle[st.idx(0, 0, 0)] != 1 {
+		t.Fatal("zero-mode twiddle must be 1")
+	}
+}
+
+func TestISRankingIsStable(t *testing.T) {
+	// Equal keys must keep their original relative order (the parallel
+	// counting sort is stable by construction).
+	p := ISParams{TotalKeysLog: 10, MaxKeyLog: 3, Iterations: 1}
+	// With only 8 distinct keys there are many duplicates.
+	res := RunIS(p, 4)
+	if !res.Verified {
+		t.Fatalf("IS failed: %s", res.Detail)
+	}
+}
+
+func TestEPBlockSeedsMatchStream(t *testing.T) {
+	// The k-th block's seed must equal stepping the global stream to the
+	// block boundary — EP's parallel decomposition correctness.
+	const blockNumbers = 1 << 10
+	want := DefaultSeed
+	for i := 0; i < 3*blockNumbers; i++ {
+		Randlc(&want, A)
+	}
+	got := SeedAt(DefaultSeed, A, 3*blockNumbers)
+	if got != want {
+		t.Fatal("block seed jump diverges from stream stepping")
+	}
+}
+
+func TestPseudoAppRHSDeterministic(t *testing.T) {
+	a := appRHS(6)
+	b := appRHS(6)
+	for i := range a.data {
+		if a.data[i] != b.data[i] {
+			t.Fatal("appRHS not deterministic")
+		}
+	}
+}
+
+func TestFieldIndexingDisjointComponents(t *testing.T) {
+	f := newField(4)
+	f.set(0, 1, 1, 1, 7)
+	f.set(4, 1, 1, 1, 9)
+	if f.at(0, 1, 1, 1) != 7 || f.at(4, 1, 1, 1) != 9 {
+		t.Fatal("component storage overlaps")
+	}
+}

@@ -1,0 +1,530 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"xeonomp/internal/omp"
+)
+
+// The BT, SP and LU pseudo-applications share a synthetic implicit problem
+// that keeps the NPB solver shapes without the full compressible
+// Navier-Stokes physics (a documented substitution — see DESIGN.md): a
+// five-component diffusion-reaction system
+//
+//	A u = eps*u + sum_d D2_d(u) + kappa*(C u) = f
+//
+// on an n^3 grid with zero Dirichlet boundaries, where C is a fixed 5x5
+// symmetric positive-definite coupling matrix and f is drawn from the NPB
+// random stream. Each benchmark runs NIter defect-correction iterations
+//
+//	r = f - A u;  solve M du = r;  u += du
+//
+// with its characteristic approximate solver M:
+//
+//	BT — block-tridiagonal ADI sweeps with 5x5 blocks (block Thomas),
+//	SP — scalar-pentadiagonal ADI sweeps (penta Thomas),
+//	LU — red-black SSOR sweeps over the full operator.
+//
+// All three converge toward the same steady state, which the tests exploit
+// as a cross-solver consistency check.
+
+// AppParams sizes a pseudo-application.
+type AppParams struct {
+	N     int // grid dimension (interior)
+	NIter int
+}
+
+// AppClass returns the size for a class (shared by BT, SP, LU up to
+// iteration counts handled by the callers).
+func AppClass(c Class) (AppParams, error) {
+	switch c {
+	case ClassT:
+		return AppParams{N: 8, NIter: 5}, nil
+	case ClassS:
+		return AppParams{N: 12, NIter: 10}, nil
+	case ClassW:
+		return AppParams{N: 24, NIter: 10}, nil
+	case ClassA:
+		return AppParams{N: 64, NIter: 12}, nil
+	case ClassB:
+		return AppParams{N: 102, NIter: 15}, nil
+	}
+	return AppParams{}, fmt.Errorf("npb: pseudo-app has no class %q", c)
+}
+
+// app problem constants.
+const (
+	appComps = 5
+	appEps   = 0.6
+	appKappa = 0.2
+	appSigma = 0.9 // ADI implicit weight
+)
+
+// appCoupling is the fixed SPD coupling matrix C (diagonally dominant).
+var appCoupling = [appComps][appComps]float64{
+	{2.0, 0.3, 0.1, 0.0, 0.1},
+	{0.3, 2.2, 0.2, 0.1, 0.0},
+	{0.1, 0.2, 2.4, 0.3, 0.1},
+	{0.0, 0.1, 0.3, 2.1, 0.2},
+	{0.1, 0.0, 0.1, 0.2, 2.3},
+}
+
+// field is a five-component scalar field on an n^3 interior with a zero
+// ghost boundary, component-major.
+type field struct {
+	n    int
+	data []float64 // appComps * (n+2)^3
+}
+
+func newField(n int) *field {
+	d := n + 2
+	return &field{n: n, data: make([]float64, appComps*d*d*d)}
+}
+
+func (f *field) idx(m, i, j, k int) int {
+	d := f.n + 2
+	return ((m*d+i)*d+j)*d + k
+}
+
+func (f *field) at(m, i, j, k int) float64     { return f.data[f.idx(m, i, j, k)] }
+func (f *field) set(m, i, j, k int, v float64) { f.data[f.idx(m, i, j, k)] = v }
+
+// appRHS builds the forcing field from the NPB random stream.
+func appRHS(n int) *field {
+	f := newField(n)
+	seed := DefaultSeed
+	for m := 0; m < appComps; m++ {
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				for k := 1; k <= n; k++ {
+					f.set(m, i, j, k, Randlc(&seed, A)-0.5)
+				}
+			}
+		}
+	}
+	return f
+}
+
+// applyA computes out = A u over this thread's plane range, leaving ghost
+// cells untouched (they are always zero: Dirichlet boundary).
+func applyA(u, out *field, c *omp.Context) {
+	n := u.n
+	lo, hi := c.For(1, n+1)
+	for m := 0; m < appComps; m++ {
+		for i := lo; i < hi; i++ {
+			for j := 1; j <= n; j++ {
+				for k := 1; k <= n; k++ {
+					lap := 6*u.at(m, i, j, k) -
+						u.at(m, i-1, j, k) - u.at(m, i+1, j, k) -
+						u.at(m, i, j-1, k) - u.at(m, i, j+1, k) -
+						u.at(m, i, j, k-1) - u.at(m, i, j, k+1)
+					var couple float64
+					for mm := 0; mm < appComps; mm++ {
+						couple += appCoupling[m][mm] * u.at(mm, i, j, k)
+					}
+					out.set(m, i, j, k, appEps*u.at(m, i, j, k)+lap+appKappa*couple)
+				}
+			}
+		}
+	}
+	c.Barrier()
+}
+
+// residual computes r = f - A u and returns its RMS norm.
+func residual(u, f, r *field, team *omp.Team, red *omp.ReduceFloat64) float64 {
+	var total float64
+	n := u.n
+	team.Parallel(func(c *omp.Context) {
+		applyA(u, r, c)
+		lo, hi := c.For(1, n+1)
+		var local float64
+		for m := 0; m < appComps; m++ {
+			for i := lo; i < hi; i++ {
+				for j := 1; j <= n; j++ {
+					for k := 1; k <= n; k++ {
+						v := f.at(m, i, j, k) - r.at(m, i, j, k)
+						r.set(m, i, j, k, v)
+						local += v * v
+					}
+				}
+			}
+		}
+		t := red.Combine(c, local, func(a, b float64) float64 { return a + b })
+		c.Master(func() { total = t })
+		c.Barrier()
+	})
+	cells := float64(appComps * n * n * n)
+	return math.Sqrt(total / cells)
+}
+
+// AppOutput records the residual trajectory of a pseudo-app run.
+type AppOutput struct {
+	RNorms []float64
+	Final  float64
+}
+
+// runApp is the shared defect-correction driver; solve applies the
+// benchmark's approximate inverse to r in place (du overwrites r).
+func runApp(name string, p AppParams, threads int, solve func(r *field, team *omp.Team)) (Result, AppOutput) {
+	u := newField(p.N)
+	f := appRHS(p.N)
+	r := newField(p.N)
+	team := omp.NewTeam(threads)
+	red := omp.NewReduceFloat64()
+
+	var out AppOutput
+	out.RNorms = append(out.RNorms, residual(u, f, r, team, red))
+	for it := 0; it < p.NIter; it++ {
+		solve(r, team) // r becomes du
+		n := p.N
+		team.Parallel(func(c *omp.Context) {
+			lo, hi := c.For(1, n+1)
+			for m := 0; m < appComps; m++ {
+				for i := lo; i < hi; i++ {
+					for j := 1; j <= n; j++ {
+						for k := 1; k <= n; k++ {
+							u.set(m, i, j, k, u.at(m, i, j, k)+r.at(m, i, j, k))
+						}
+					}
+				}
+			}
+		})
+		out.RNorms = append(out.RNorms, residual(u, f, r, team, red))
+	}
+	out.Final = out.RNorms[len(out.RNorms)-1]
+	ok := !math.IsNaN(out.Final) && out.Final < out.RNorms[0]
+	return Result{
+		Name:     name,
+		Threads:  threads,
+		Verified: ok,
+		Checksum: out.Final,
+		Detail:   fmt.Sprintf("residual %0.3e -> %0.3e over %d iterations", out.RNorms[0], out.Final, p.NIter),
+	}, out
+}
+
+// --- SP: scalar-pentadiagonal ADI ------------------------------------------
+
+// pentaSolve solves (in place) the constant-coefficient pentadiagonal
+// system M x = rhs along one line, where M has stencil
+// [e, c, d, c, e] with d = 1 + 2*sigma + 6*tau, c = -sigma - 4*tau,
+// e = tau — the (I + sigma*D2 + tau*D4) line operator of SP.
+func pentaSolve(x []float64, scratch []float64) {
+	n := len(x)
+	const sigma = appSigma
+	const tau = appSigma / 12
+	d := 1 + 2*sigma + 6*tau
+	cc := -sigma - 4*tau
+	e := tau
+
+	// Banded Gaussian elimination without pivoting (the matrix is strictly
+	// diagonally dominant). scratch holds the two working diagonals:
+	// scratch[2*i] = main, scratch[2*i+1] = first super.
+	if cap(scratch) < 2*n {
+		panic("npb: penta scratch too small")
+	}
+	s := scratch[:2*n]
+
+	// Row i holds [e, c, d, c, e] at columns i-2..i+2. Eliminate sub-
+	// diagonals with the two previous rows.
+	// After elimination row i: diag s[2i], super s[2i+1], second super = e.
+	for i := 0; i < n; i++ {
+		di := d
+		c1 := cc // first super coefficient of this row after elimination
+		ri := x[i]
+		// Eliminate with row i-1 (factor m1 = sub1 / diag_{i-1}).
+		if i >= 1 {
+			sub1 := cc
+			if i >= 2 {
+				// First eliminate the i-2 coupling: factor = e / diag_{i-2}.
+				m2 := e / s[2*(i-2)]
+				sub1 -= m2 * s[2*(i-2)+1]
+				ri -= m2 * x[i-2]
+				di -= m2 * e
+			}
+			m1 := sub1 / s[2*(i-1)]
+			di -= m1 * s[2*(i-1)+1]
+			ri -= m1 * x[i-1]
+			if i+1 < n {
+				c1 -= m1 * e
+			}
+		}
+		s[2*i] = di
+		s[2*i+1] = c1
+		x[i] = ri
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		v := x[i]
+		if i+1 < n {
+			v -= s[2*i+1] * x[i+1]
+		}
+		if i+2 < n {
+			v -= e * x[i+2]
+		}
+		x[i] = v / s[2*i]
+	}
+}
+
+// spSweep applies the pentadiagonal line solve along dimension dim for all
+// lines and components, partitioned over the outermost free index.
+func spSweep(r *field, team *omp.Team, dim int) {
+	n := r.n
+	team.Parallel(func(c *omp.Context) {
+		line := make([]float64, n)
+		scratch := make([]float64, 2*n)
+		c.ForEach(0, appComps*n*n, omp.Static, 0, func(w int) {
+			m := w / (n * n)
+			rest := w % (n * n)
+			a := rest/n + 1
+			b := rest%n + 1
+			for t := 1; t <= n; t++ {
+				switch dim {
+				case 0:
+					line[t-1] = r.at(m, t, a, b)
+				case 1:
+					line[t-1] = r.at(m, a, t, b)
+				default:
+					line[t-1] = r.at(m, a, b, t)
+				}
+			}
+			pentaSolve(line, scratch)
+			for t := 1; t <= n; t++ {
+				switch dim {
+				case 0:
+					r.set(m, t, a, b, line[t-1])
+				case 1:
+					r.set(m, a, t, b, line[t-1])
+				default:
+					r.set(m, a, b, t, line[t-1])
+				}
+			}
+		})
+		c.Barrier()
+	})
+}
+
+// RunSP executes the SP pseudo-application.
+func RunSP(p AppParams, threads int) (Result, AppOutput) {
+	return runApp("SP", p, threads, func(r *field, team *omp.Team) {
+		for dim := 0; dim < 3; dim++ {
+			spSweep(r, team, dim)
+		}
+	})
+}
+
+// --- BT: block-tridiagonal ADI ----------------------------------------------
+
+// blockTriSolve solves the block-tridiagonal system along one line with
+// 5x5 blocks: diag D = (1+2*sigma)I + sigma*kappa*C, off-diagonals -sigma*I.
+// x is n consecutive 5-vectors. Block Thomas with dense 5x5 elimination.
+func blockTriSolve(x [][appComps]float64, diag *[appComps][appComps]float64) {
+	n := len(x)
+	const sigma = appSigma
+	off := -sigma
+
+	// dprime[i] = eliminated diagonal block, rprime in x.
+	dp := make([][appComps][appComps]float64, n)
+	dp[0] = *diag
+	for i := 1; i < n; i++ {
+		// m = off * inv(dp[i-1]); dp[i] = D - m*off = D - off^2 inv(dp[i-1])
+		inv := invert5(&dp[i-1])
+		var next [appComps][appComps]float64
+		for a := 0; a < appComps; a++ {
+			for b := 0; b < appComps; b++ {
+				next[a][b] = (*diag)[a][b] - off*off*inv[a][b]
+			}
+		}
+		dp[i] = next
+		// x[i] -= off * inv(dp[i-1]) * x[i-1]
+		var tmp [appComps]float64
+		for a := 0; a < appComps; a++ {
+			var s float64
+			for b := 0; b < appComps; b++ {
+				s += inv[a][b] * x[i-1][b]
+			}
+			tmp[a] = s
+		}
+		for a := 0; a < appComps; a++ {
+			x[i][a] -= off * tmp[a]
+		}
+	}
+	// Back substitution: x[i] = inv(dp[i]) * (x[i] - off*x[i+1]).
+	for i := n - 1; i >= 0; i-- {
+		rhs := x[i]
+		if i+1 < n {
+			for a := 0; a < appComps; a++ {
+				rhs[a] -= off * x[i+1][a]
+			}
+		}
+		inv := invert5(&dp[i])
+		for a := 0; a < appComps; a++ {
+			var s float64
+			for b := 0; b < appComps; b++ {
+				s += inv[a][b] * rhs[b]
+			}
+			x[i][a] = s
+		}
+	}
+}
+
+// invert5 inverts a 5x5 matrix by Gauss-Jordan elimination with partial
+// pivoting. The blocks are strongly diagonally dominant, so this is stable.
+func invert5(m *[appComps][appComps]float64) [appComps][appComps]float64 {
+	var a [appComps][2 * appComps]float64
+	for i := 0; i < appComps; i++ {
+		for j := 0; j < appComps; j++ {
+			a[i][j] = m[i][j]
+		}
+		a[i][appComps+i] = 1
+	}
+	for col := 0; col < appComps; col++ {
+		p := col
+		for r := col + 1; r < appComps; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		a[col], a[p] = a[p], a[col]
+		piv := a[col][col]
+		for j := 0; j < 2*appComps; j++ {
+			a[col][j] /= piv
+		}
+		for r := 0; r < appComps; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*appComps; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	var out [appComps][appComps]float64
+	for i := 0; i < appComps; i++ {
+		for j := 0; j < appComps; j++ {
+			out[i][j] = a[i][appComps+j]
+		}
+	}
+	return out
+}
+
+// btSweep applies the block-tridiagonal solve along dimension dim.
+func btSweep(r *field, team *omp.Team, dim int) {
+	n := r.n
+	const sigma = appSigma
+	var diag [appComps][appComps]float64
+	for a := 0; a < appComps; a++ {
+		for b := 0; b < appComps; b++ {
+			diag[a][b] = sigma * appKappa * appCoupling[a][b]
+			if a == b {
+				diag[a][b] += 1 + 2*sigma
+			}
+		}
+	}
+	team.Parallel(func(c *omp.Context) {
+		line := make([][appComps]float64, n)
+		c.ForEach(0, n*n, omp.Static, 0, func(w int) {
+			a := w/n + 1
+			b := w%n + 1
+			for t := 1; t <= n; t++ {
+				for m := 0; m < appComps; m++ {
+					switch dim {
+					case 0:
+						line[t-1][m] = r.at(m, t, a, b)
+					case 1:
+						line[t-1][m] = r.at(m, a, t, b)
+					default:
+						line[t-1][m] = r.at(m, a, b, t)
+					}
+				}
+			}
+			blockTriSolve(line, &diag)
+			for t := 1; t <= n; t++ {
+				for m := 0; m < appComps; m++ {
+					switch dim {
+					case 0:
+						r.set(m, t, a, b, line[t-1][m])
+					case 1:
+						r.set(m, a, t, b, line[t-1][m])
+					default:
+						r.set(m, a, b, t, line[t-1][m])
+					}
+				}
+			}
+		})
+		c.Barrier()
+	})
+}
+
+// RunBT executes the BT pseudo-application.
+func RunBT(p AppParams, threads int) (Result, AppOutput) {
+	return runApp("BT", p, threads, func(r *field, team *omp.Team) {
+		for dim := 0; dim < 3; dim++ {
+			btSweep(r, team, dim)
+		}
+	})
+}
+
+// --- LU: SSOR ----------------------------------------------------------------
+
+// RunLU executes the LU pseudo-application: red-black SSOR sweeps applied
+// directly to the full operator A.
+func RunLU(p AppParams, threads int) (Result, AppOutput) {
+	const omega = 1.1
+	const sweeps = 2
+	return runApp("LU", p, threads, func(r *field, team *omp.Team) {
+		n := r.n
+		// Solve A du = r approximately; du accumulates in place of r, so
+		// work on a copy of the right-hand side.
+		rhs := newField(n)
+		copy(rhs.data, r.data)
+		team.Parallel(func(c *omp.Context) {
+			lo, hi := c.For(1, n+1)
+			// Zero initial guess.
+			for m := 0; m < appComps; m++ {
+				for i := lo; i < hi; i++ {
+					for j := 0; j <= n+1; j++ {
+						for k := 0; k <= n+1; k++ {
+							r.set(m, i, j, k, 0)
+						}
+					}
+				}
+			}
+			c.Barrier()
+			// diag of A per component row: eps + 6 + kappa*C[m][m]; the
+			// coupling off-diagonals are folded into the relaxation RHS.
+			for s := 0; s < sweeps; s++ {
+				for color := 0; color < 2; color++ {
+					for i := lo; i < hi; i++ {
+						for j := 1; j <= n; j++ {
+							for k := 1; k <= n; k++ {
+								if (i+j+k)%2 != color {
+									continue
+								}
+								for m := 0; m < appComps; m++ {
+									neigh := r.at(m, i-1, j, k) + r.at(m, i+1, j, k) +
+										r.at(m, i, j-1, k) + r.at(m, i, j+1, k) +
+										r.at(m, i, j, k-1) + r.at(m, i, j, k+1)
+									var couple float64
+									for mm := 0; mm < appComps; mm++ {
+										if mm != m {
+											couple += appCoupling[m][mm] * r.at(mm, i, j, k)
+										}
+									}
+									dg := appEps + 6 + appKappa*appCoupling[m][m]
+									gs := (rhs.at(m, i, j, k) + neigh - appKappa*couple) / dg
+									r.set(m, i, j, k, (1-omega)*r.at(m, i, j, k)+omega*gs)
+								}
+							}
+						}
+					}
+					c.Barrier()
+				}
+			}
+		})
+	})
+}

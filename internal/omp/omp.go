@@ -1,0 +1,365 @@
+// Package omp is a small OpenMP-like runtime for Go, used by the functional
+// NAS benchmark implementations in internal/npb. It provides fork-join
+// parallel regions over a fixed-size thread team, static / dynamic / guided
+// loop scheduling, a sense-reversing barrier, reductions, critical sections,
+// and single/master constructs — the OpenMP subset the NAS OpenMP suite
+// relies on.
+//
+// The runtime runs on real goroutines (one per team member, created per
+// parallel region like a non-persistent OpenMP team) and is independent of
+// the timing simulator: it exists so the benchmark kernels are genuine
+// shared-memory parallel programs whose loop structure grounds the
+// architectural profiles in internal/profiles.
+package omp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Team is a fixed-size thread team. The zero value is not usable; construct
+// with NewTeam. A Team may execute any number of parallel regions, one at a
+// time.
+type Team struct {
+	n       int
+	barrier *Barrier
+}
+
+// NewTeam returns a team of n threads; n <= 0 selects runtime.GOMAXPROCS(0).
+func NewTeam(n int) *Team {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Team{n: n, barrier: NewBarrier(n)}
+}
+
+// NumThreads returns the team size.
+func (t *Team) NumThreads() int { return t.n }
+
+// Context is the per-thread view inside a parallel region, passed to the
+// region body. It identifies the thread and carries the team's
+// synchronization primitives.
+type Context struct {
+	tid  int
+	team *Team
+	reg  *region
+}
+
+// TID returns the thread id in [0, NumThreads).
+func (c *Context) TID() int { return c.tid }
+
+// NumThreads returns the team size.
+func (c *Context) NumThreads() int { return c.team.n }
+
+// region holds per-parallel-region shared state.
+type region struct {
+	mu      sync.Mutex
+	singles map[int]bool // single-construct occurrence -> claimed
+	counter int64        // dynamic schedule cursor
+	hi      int64
+	chunk   int64
+	guided  bool
+	minChk  int64
+}
+
+// Parallel executes body on every team thread and waits for all of them
+// (fork-join). Panics in workers are re-raised on the caller after all
+// workers finish or die.
+func (t *Team) Parallel(body func(c *Context)) {
+	reg := &region{singles: map[int]bool{}}
+	var wg sync.WaitGroup
+	panics := make([]any, t.n)
+	wg.Add(t.n)
+	for tid := 0; tid < t.n; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[tid] = r
+				}
+			}()
+			body(&Context{tid: tid, team: t, reg: reg})
+		}(tid)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Barrier blocks until every team thread has called it (inside a parallel
+// region).
+func (c *Context) Barrier() { c.team.barrier.Wait() }
+
+// For returns this thread's static partition [lo2, hi2) of the iteration
+// space [lo, hi) — the OpenMP `schedule(static)` block distribution.
+func (c *Context) For(lo, hi int) (int, int) {
+	return StaticRange(lo, hi, c.tid, c.team.n)
+}
+
+// StaticRange computes the static block partition of [lo, hi) for thread
+// tid of n. The first (hi-lo) mod n threads get one extra iteration.
+func StaticRange(lo, hi, tid, n int) (int, int) {
+	if hi <= lo {
+		return lo, lo
+	}
+	total := hi - lo
+	base := total / n
+	rem := total % n
+	var start int
+	if tid < rem {
+		start = lo + tid*(base+1)
+		return start, start + base + 1
+	}
+	start = lo + rem*(base+1) + (tid-rem)*base
+	return start, start + base
+}
+
+// Schedule identifies a loop scheduling policy.
+type Schedule int
+
+// Loop schedules.
+const (
+	Static Schedule = iota
+	Dynamic
+	Guided
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return fmt.Sprintf("schedule(%d)", int(s))
+	}
+}
+
+// ForEach runs body over [lo, hi) under the given schedule with the given
+// chunk size (chunk <= 0 selects a default). It must be called by every
+// team thread; it contains no implicit barrier (append c.Barrier() as
+// needed, like `nowait` semantics).
+func (c *Context) ForEach(lo, hi int, sched Schedule, chunk int, body func(i int)) {
+	switch sched {
+	case Static:
+		if chunk <= 0 {
+			b, e := c.For(lo, hi)
+			for i := b; i < e; i++ {
+				body(i)
+			}
+			return
+		}
+		// Round-robin chunked static schedule.
+		for base := lo + c.tid*chunk; base < hi; base += c.team.n * chunk {
+			end := base + chunk
+			if end > hi {
+				end = hi
+			}
+			for i := base; i < end; i++ {
+				body(i)
+			}
+		}
+	case Dynamic, Guided:
+		if chunk <= 0 {
+			chunk = 1
+		}
+		r := c.reg
+		// First thread to arrive initializes the shared cursor for this
+		// loop instance. Loops are separated by barriers in well-formed
+		// OpenMP code, which is what makes this reuse safe.
+		r.mu.Lock()
+		if r.hi != int64(hi) || r.counter < int64(lo) || r.counter > int64(hi) {
+			r.counter = int64(lo)
+			r.hi = int64(hi)
+			r.chunk = int64(chunk)
+			r.guided = sched == Guided
+			r.minChk = int64(chunk)
+		}
+		r.mu.Unlock()
+		for {
+			b, e := nextChunk(r, c.team.n)
+			if b >= e {
+				return
+			}
+			for i := b; i < e; i++ {
+				body(int(i))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("omp: unknown schedule %v", sched))
+	}
+}
+
+func nextChunk(r *region, nthreads int) (int64, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counter >= r.hi {
+		return r.hi, r.hi
+	}
+	size := r.chunk
+	if r.guided {
+		remaining := r.hi - r.counter
+		size = remaining / int64(2*nthreads)
+		if size < r.minChk {
+			size = r.minChk
+		}
+	}
+	b := r.counter
+	e := b + size
+	if e > r.hi {
+		e = r.hi
+	}
+	r.counter = e
+	return b, e
+}
+
+// Single executes f on exactly one thread of the team for this textual
+// occurrence (identified by id, which must be unique per single construct
+// within the region) and then barriers the team, matching OpenMP's implicit
+// end-of-single barrier.
+func (c *Context) Single(id int, f func()) {
+	c.reg.mu.Lock()
+	claimed := c.reg.singles[id]
+	if !claimed {
+		c.reg.singles[id] = true
+	}
+	c.reg.mu.Unlock()
+	if !claimed {
+		f()
+		// Re-arm the construct for the next pass (after everyone has gone
+		// through the barrier below, a later execution may claim it again).
+		defer func() {
+			c.reg.mu.Lock()
+			delete(c.reg.singles, id)
+			c.reg.mu.Unlock()
+		}()
+	}
+	c.Barrier()
+}
+
+// Master executes f on thread 0 only, with no implied barrier.
+func (c *Context) Master(f func()) {
+	if c.tid == 0 {
+		f()
+	}
+}
+
+// Critical executes f under the team-wide mutual exclusion lock.
+func (c *Context) Critical(f func()) {
+	c.reg.mu.Lock()
+	defer c.reg.mu.Unlock()
+	f()
+}
+
+// Barrier is a reusable sense-reversing barrier for n participants.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase uint64
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("omp: barrier size must be positive")
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until n goroutines have called Wait for the current phase.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// ReduceFloat64 combines one float64 contribution per thread with op and
+// returns the combined value on every thread. It is a full-team collective:
+// every team thread must call Combine the same number of times. The reducer
+// alternates between two accumulator slots, which makes it safely reusable
+// across consecutive reductions and across parallel regions with a single
+// barrier per reduction.
+type ReduceFloat64 struct {
+	mu    sync.Mutex
+	round uint64
+	slots [2]struct {
+		acc float64
+		n   int
+	}
+}
+
+// NewReduceFloat64 returns a reusable reduction workspace. Create one per
+// reduction variable, outside the parallel region.
+func NewReduceFloat64() *ReduceFloat64 { return &ReduceFloat64{} }
+
+// Combine folds v into the current round's accumulator using op and returns
+// the team-wide result after a barrier. op must be associative and
+// commutative (e.g. +, max).
+func (r *ReduceFloat64) Combine(c *Context, v float64, op func(a, b float64) float64) float64 {
+	size := c.team.n
+	r.mu.Lock()
+	slot := &r.slots[r.round%2]
+	if slot.n == size {
+		// Stale state from two rounds ago: first contribution of a new
+		// round reusing this slot.
+		slot.n = 0
+	}
+	if slot.n == 0 {
+		slot.acc = v
+	} else {
+		slot.acc = op(slot.acc, v)
+	}
+	slot.n++
+	if slot.n == size {
+		// Round complete: subsequent Combine calls use the other slot.
+		r.round++
+	}
+	r.mu.Unlock()
+
+	// All contributions are in once every thread passes this barrier. The
+	// slot cannot be reused before every thread has also contributed to
+	// the NEXT reduction on the other slot, which cannot happen before it
+	// returns from this one — so the read below is stable.
+	c.Barrier()
+	r.mu.Lock()
+	out := slot.acc
+	r.mu.Unlock()
+	return out
+}
+
+// AtomicAddFloat64 atomically adds delta to the float64 encoded in *addr
+// (as math.Float64bits) using a CAS loop, the moral equivalent of
+// `#pragma omp atomic`.
+func AtomicAddFloat64(addr *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(addr, old, nw) {
+			return
+		}
+	}
+}

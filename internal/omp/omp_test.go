@@ -1,0 +1,367 @@
+package omp
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTeamDefaults(t *testing.T) {
+	if NewTeam(0).NumThreads() <= 0 {
+		t.Fatal("default team empty")
+	}
+	if NewTeam(3).NumThreads() != 3 {
+		t.Fatal("explicit team size wrong")
+	}
+}
+
+func TestParallelRunsAllThreads(t *testing.T) {
+	team := NewTeam(4)
+	var seen [4]int32
+	team.Parallel(func(c *Context) {
+		atomic.AddInt32(&seen[c.TID()], 1)
+		if c.NumThreads() != 4 {
+			t.Error("NumThreads wrong inside region")
+		}
+	})
+	for tid, n := range seen {
+		if n != 1 {
+			t.Fatalf("thread %d ran %d times", tid, n)
+		}
+	}
+}
+
+func TestParallelPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	NewTeam(3).Parallel(func(c *Context) {
+		if c.TID() == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestStaticRangeCoversExactly(t *testing.T) {
+	f := func(loRaw, sizeRaw uint16, nRaw uint8) bool {
+		lo := int(loRaw % 1000)
+		hi := lo + int(sizeRaw%5000)
+		n := int(nRaw%16) + 1
+		covered := make(map[int]int)
+		for tid := 0; tid < n; tid++ {
+			b, e := StaticRange(lo, hi, tid, n)
+			if b > e {
+				return false
+			}
+			for i := b; i < e; i++ {
+				covered[i]++
+			}
+		}
+		if len(covered) != hi-lo {
+			return false
+		}
+		for i := lo; i < hi; i++ {
+			if covered[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticRangeBalanced(t *testing.T) {
+	// No thread may have more than one extra iteration.
+	b0, e0 := StaticRange(0, 10, 0, 3)
+	b2, e2 := StaticRange(0, 10, 2, 3)
+	if (e0-b0)-(e2-b2) > 1 {
+		t.Fatalf("imbalance: %d vs %d", e0-b0, e2-b2)
+	}
+}
+
+func TestForEachSchedulesCoverExactlyOnce(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		for _, chunk := range []int{0, 1, 7} {
+			if sched == Static && chunk == 0 {
+				// covered by the property test above via c.For
+			}
+			team := NewTeam(4)
+			const n = 1000
+			var hits [n]int32
+			team.Parallel(func(c *Context) {
+				c.ForEach(0, n, sched, chunk, func(i int) {
+					atomic.AddInt32(&hits[i], 1)
+				})
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("%v chunk=%d: iteration %d executed %d times", sched, chunk, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachEmptyRange(t *testing.T) {
+	team := NewTeam(2)
+	ran := int32(0)
+	team.Parallel(func(c *Context) {
+		c.ForEach(5, 5, Static, 0, func(i int) { atomic.AddInt32(&ran, 1) })
+		c.ForEach(5, 3, Dynamic, 2, func(i int) { atomic.AddInt32(&ran, 1) })
+	})
+	if ran != 0 {
+		t.Fatal("empty ranges executed iterations")
+	}
+}
+
+func TestDynamicScheduleBalancesUnevenWork(t *testing.T) {
+	// With wildly uneven iteration costs, dynamic scheduling must give the
+	// cheap-iteration threads more chunks. We only verify correctness of
+	// coverage plus that multiple threads participated.
+	team := NewTeam(4)
+	const n = 400
+	var who [n]int32
+	team.Parallel(func(c *Context) {
+		c.Barrier() // start the race together
+		c.ForEach(0, n, Dynamic, 4, func(i int) {
+			// Yield so the test is meaningful even on GOMAXPROCS=1, where
+			// a non-yielding thread would drain the loop alone.
+			runtime.Gosched()
+			atomic.StoreInt32(&who[i], int32(c.TID())+1)
+		})
+	})
+	participants := map[int32]bool{}
+	for _, w := range who {
+		if w == 0 {
+			t.Fatal("iteration not executed")
+		}
+		participants[w] = true
+	}
+	if len(participants) < 2 {
+		t.Fatal("dynamic schedule used a single thread")
+	}
+}
+
+func TestGuidedChunksShrink(t *testing.T) {
+	// Drive nextChunk directly to observe decreasing chunk sizes.
+	r := &region{singles: map[int]bool{}}
+	r.counter, r.hi, r.chunk, r.minChk, r.guided = 0, 1000, 4, 4, true
+	var sizes []int64
+	for {
+		b, e := nextChunk(r, 4)
+		if b >= e {
+			break
+		}
+		sizes = append(sizes, e-b)
+	}
+	if len(sizes) < 3 {
+		t.Fatalf("too few chunks: %v", sizes)
+	}
+	if !sort.SliceIsSorted(sizes, func(i, j int) bool { return sizes[i] > sizes[j] }) {
+		t.Fatalf("guided chunks not non-increasing: %v", sizes)
+	}
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 1000 {
+		t.Fatalf("guided chunks cover %d of 1000", total)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	team := NewTeam(8)
+	var before, after int32
+	team.Parallel(func(c *Context) {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		// Every thread must observe all 8 pre-barrier increments.
+		if atomic.LoadInt32(&before) != 8 {
+			t.Error("barrier released early")
+		}
+		atomic.AddInt32(&after, 1)
+	})
+	if after != 8 {
+		t.Fatal("not all threads passed the barrier")
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	team := NewTeam(4)
+	var phase int32
+	team.Parallel(func(c *Context) {
+		for i := 0; i < 50; i++ {
+			c.Barrier()
+			if c.TID() == 0 {
+				atomic.AddInt32(&phase, 1)
+			}
+			c.Barrier()
+			if atomic.LoadInt32(&phase) != int32(i+1) {
+				t.Errorf("phase skew at iteration %d", i)
+				return
+			}
+		}
+	})
+}
+
+func TestStandaloneBarrier(t *testing.T) {
+	b := NewBarrier(3)
+	var wg sync.WaitGroup
+	var count int32
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt32(&count, 1)
+			b.Wait()
+			if atomic.LoadInt32(&count) != 3 {
+				t.Error("standalone barrier released early")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNewBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestSingleRunsOnce(t *testing.T) {
+	team := NewTeam(6)
+	var ran int32
+	team.Parallel(func(c *Context) {
+		c.Single(1, func() { atomic.AddInt32(&ran, 1) })
+	})
+	if ran != 1 {
+		t.Fatalf("single ran %d times", ran)
+	}
+}
+
+func TestSingleRearmsAcrossPasses(t *testing.T) {
+	team := NewTeam(4)
+	var ran int32
+	team.Parallel(func(c *Context) {
+		for i := 0; i < 10; i++ {
+			c.Single(1, func() { atomic.AddInt32(&ran, 1) })
+		}
+	})
+	if ran != 10 {
+		t.Fatalf("single across passes ran %d times, want 10", ran)
+	}
+}
+
+func TestMasterOnlyThreadZero(t *testing.T) {
+	team := NewTeam(4)
+	var who int32 = -1
+	team.Parallel(func(c *Context) {
+		c.Master(func() { atomic.StoreInt32(&who, int32(c.TID())) })
+	})
+	if who != 0 {
+		t.Fatalf("master ran on thread %d", who)
+	}
+}
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	team := NewTeam(8)
+	counter := 0 // unsynchronized on purpose: Critical must protect it
+	team.Parallel(func(c *Context) {
+		for i := 0; i < 1000; i++ {
+			c.Critical(func() { counter++ })
+		}
+	})
+	if counter != 8000 {
+		t.Fatalf("critical lost updates: %d", counter)
+	}
+}
+
+func TestReduceFloat64Sum(t *testing.T) {
+	team := NewTeam(5)
+	red := NewReduceFloat64()
+	results := make([]float64, 5)
+	team.Parallel(func(c *Context) {
+		v := float64(c.TID() + 1)
+		results[c.TID()] = red.Combine(c, v, func(a, b float64) float64 { return a + b })
+	})
+	for tid, r := range results {
+		if r != 15 {
+			t.Fatalf("thread %d saw reduction %v, want 15", tid, r)
+		}
+	}
+}
+
+func TestReduceFloat64Max(t *testing.T) {
+	team := NewTeam(4)
+	red := NewReduceFloat64()
+	var got float64
+	team.Parallel(func(c *Context) {
+		v := float64((c.TID() * 7) % 5)
+		r := red.Combine(c, v, func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if c.TID() == 0 {
+			got = r
+		}
+	})
+	if got != 4 {
+		t.Fatalf("max reduction = %v, want 4", got)
+	}
+}
+
+func TestReduceReusable(t *testing.T) {
+	team := NewTeam(3)
+	red := NewReduceFloat64()
+	sum := func(a, b float64) float64 { return a + b }
+	team.Parallel(func(c *Context) {
+		for i := 0; i < 20; i++ {
+			r := red.Combine(c, 1, sum)
+			if r != 3 {
+				t.Errorf("pass %d reduction %v, want 3", i, r)
+				return
+			}
+		}
+	})
+}
+
+func TestAtomicAddFloat64(t *testing.T) {
+	var bits uint64
+	team := NewTeam(8)
+	team.Parallel(func(c *Context) {
+		for i := 0; i < 1000; i++ {
+			AtomicAddFloat64(&bits, 0.5)
+		}
+	})
+	got := mathFrombits(bits)
+	if got != 4000 {
+		t.Fatalf("atomic add total %v, want 4000", got)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Fatal("schedule names wrong")
+	}
+	if Schedule(99).String() == "" {
+		t.Fatal("unknown schedule name empty")
+	}
+}
+
+// mathFrombits is a test helper mirroring math.Float64frombits.
+func mathFrombits(b uint64) float64 {
+	return math.Float64frombits(b)
+}

@@ -1,0 +1,140 @@
+// Package prefetch models the per-core hardware stream prefetcher of the
+// simulated Xeon. It watches the L2 demand-miss stream, detects unit- and
+// small-stride streams within a page, and emits prefetch candidates ahead of
+// the stream. The machine model only issues those candidates when the chip's
+// FSB has headroom, which is why in the paper only lightly-loaded
+// configurations (group 2) and bandwidth-starved-but-latency-bound workloads
+// (CG on HT on -8-2) show significant prefetch traffic.
+package prefetch
+
+import "fmt"
+
+// Config describes one stream prefetcher.
+type Config struct {
+	Streams   int   // concurrently tracked streams
+	Degree    int   // lines fetched ahead per confirmed-stream trigger
+	LineSize  int64 // cache line size in bytes
+	PageSize  int64 // streams do not cross this boundary
+	MaxStride int64 // largest detectable stride, in lines
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Streams <= 0 || c.Degree <= 0 || c.LineSize <= 0 || c.PageSize <= 0 || c.MaxStride <= 0 {
+		return fmt.Errorf("prefetch: incomplete config %+v", c)
+	}
+	if c.PageSize%c.LineSize != 0 {
+		return fmt.Errorf("prefetch: page size %d not a multiple of line size %d", c.PageSize, c.LineSize)
+	}
+	return nil
+}
+
+type stream struct {
+	valid     bool
+	confirmed bool
+	page      uint64 // page base address
+	lastLine  uint64 // last miss line address
+	stride    int64  // in bytes; 0 until a direction is seen
+	stamp     uint64
+}
+
+// Prefetcher is one per-core stream prefetcher.
+type Prefetcher struct {
+	cfg     Config
+	streams []stream
+	clock   uint64
+	issued  uint64
+}
+
+// New builds a prefetcher, panicking on invalid configuration.
+func New(cfg Config) *Prefetcher {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Prefetcher{cfg: cfg, streams: make([]stream, cfg.Streams)}
+}
+
+// Config returns the prefetcher's configuration.
+func (p *Prefetcher) Config() Config { return p.cfg }
+
+// Issued returns the number of prefetch candidates emitted so far.
+func (p *Prefetcher) Issued() uint64 { return p.issued }
+
+// OnMiss observes a demand miss at line-aligned address line and returns the
+// line addresses to prefetch (possibly none). Candidates never cross the
+// stream's page.
+func (p *Prefetcher) OnMiss(line uint64) []uint64 {
+	p.clock++
+	page := line &^ uint64(p.cfg.PageSize-1)
+
+	// Find a stream on the same page.
+	var s *stream
+	for i := range p.streams {
+		if p.streams[i].valid && p.streams[i].page == page {
+			s = &p.streams[i]
+			break
+		}
+	}
+	if s == nil {
+		// Allocate the LRU slot as a new unconfirmed stream.
+		victim := 0
+		for i := range p.streams {
+			if !p.streams[i].valid {
+				victim = i
+				break
+			}
+			if p.streams[i].stamp < p.streams[victim].stamp {
+				victim = i
+			}
+		}
+		p.streams[victim] = stream{valid: true, page: page, lastLine: line, stamp: p.clock}
+		return nil
+	}
+
+	s.stamp = p.clock
+	delta := int64(line) - int64(s.lastLine)
+	s.lastLine = line
+	if delta == 0 {
+		return nil
+	}
+	maxBytes := p.cfg.MaxStride * p.cfg.LineSize
+	if delta > maxBytes || delta < -maxBytes {
+		// Too far apart: restart the stream at the new point.
+		s.confirmed, s.stride = false, 0
+		return nil
+	}
+	if !s.confirmed {
+		s.stride = delta
+		s.confirmed = true
+		return nil
+	}
+	// Confirmed stream: require direction agreement, then run ahead.
+	if (delta > 0) != (s.stride > 0) {
+		s.stride = delta
+		return nil
+	}
+	s.stride = delta
+	var out []uint64
+	next := int64(line)
+	for i := 0; i < p.cfg.Degree; i++ {
+		next += s.stride
+		if next < 0 {
+			break
+		}
+		if uint64(next)&^uint64(p.cfg.PageSize-1) != page {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	p.issued += uint64(len(out))
+	return out
+}
+
+// Reset clears all streams and the issue count.
+func (p *Prefetcher) Reset() {
+	for i := range p.streams {
+		p.streams[i] = stream{}
+	}
+	p.issued = 0
+	p.clock = 0
+}

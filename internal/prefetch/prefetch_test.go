@@ -1,0 +1,171 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg() Config {
+	return Config{Streams: 4, Degree: 2, LineSize: 64, PageSize: 4096, MaxStride: 2}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		{Streams: 1, Degree: 1, LineSize: 64, PageSize: 100, MaxStride: 1}, // page not multiple of line
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%v should be invalid", c)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestUnitStrideStreamDetection(t *testing.T) {
+	p := New(cfg())
+	base := uint64(0x10000)
+	// Miss 1: allocate; miss 2: confirm direction; miss 3: run ahead.
+	if got := p.OnMiss(base); got != nil {
+		t.Fatalf("first miss should not prefetch, got %v", got)
+	}
+	if got := p.OnMiss(base + 64); got != nil {
+		t.Fatalf("second miss confirms only, got %v", got)
+	}
+	got := p.OnMiss(base + 128)
+	want := []uint64{base + 192, base + 256}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("prefetch candidates %v, want %v", got, want)
+	}
+	if p.Issued() != 2 {
+		t.Fatalf("issued = %d", p.Issued())
+	}
+}
+
+func TestDescendingStream(t *testing.T) {
+	p := New(cfg())
+	base := uint64(0x10000 + 2048)
+	p.OnMiss(base)
+	p.OnMiss(base - 64)
+	got := p.OnMiss(base - 128)
+	if len(got) != 2 || got[0] != base-192 || got[1] != base-256 {
+		t.Fatalf("descending candidates %v", got)
+	}
+}
+
+func TestCandidatesStayInPage(t *testing.T) {
+	p := New(cfg())
+	// Stream running at the end of a page must not cross it.
+	base := uint64(4096 - 192) // third-to-last line of page 0
+	p.OnMiss(base)
+	p.OnMiss(base + 64)
+	got := p.OnMiss(base + 128) // last line of the page
+	if len(got) != 0 {
+		t.Fatalf("prefetch crossed page boundary: %v", got)
+	}
+}
+
+func TestLargeStrideNotPrefetched(t *testing.T) {
+	p := New(cfg()) // MaxStride 2 lines = 128 bytes
+	base := uint64(0x10000)
+	p.OnMiss(base)
+	p.OnMiss(base + 256) // 4-line jump: beyond MaxStride
+	got := p.OnMiss(base + 512)
+	if got != nil {
+		t.Fatalf("out-of-reach stride prefetched: %v", got)
+	}
+}
+
+func TestTwoLineStridePrefetched(t *testing.T) {
+	p := New(cfg())
+	base := uint64(0x10000)
+	p.OnMiss(base)
+	p.OnMiss(base + 128)
+	got := p.OnMiss(base + 256)
+	if len(got) != 2 || got[0] != base+384 || got[1] != base+512 {
+		t.Fatalf("stride-2 candidates %v", got)
+	}
+}
+
+func TestDirectionFlipResetsRun(t *testing.T) {
+	p := New(cfg())
+	base := uint64(0x10000 + 1024)
+	p.OnMiss(base)
+	p.OnMiss(base + 64)
+	p.OnMiss(base - 64) // direction flip: no prefetch this round
+	got := p.OnMiss(base - 128)
+	if len(got) == 0 {
+		t.Fatal("stream should re-confirm after one flip step")
+	}
+}
+
+func TestStreamsAreLRUReplaced(t *testing.T) {
+	p := New(Config{Streams: 2, Degree: 1, LineSize: 64, PageSize: 4096, MaxStride: 2})
+	// Touch three different pages: the first stream is evicted.
+	p.OnMiss(0 * 4096)
+	p.OnMiss(1 * 4096)
+	p.OnMiss(2 * 4096)
+	// Returning to page 0 allocates a fresh (unconfirmed) stream: the next
+	// two misses only confirm, the third prefetches.
+	if got := p.OnMiss(0*4096 + 64); got != nil {
+		t.Fatalf("evicted stream retained state: %v", got)
+	}
+}
+
+func TestSamLineRepeatIsIgnored(t *testing.T) {
+	p := New(cfg())
+	base := uint64(0x20000)
+	p.OnMiss(base)
+	p.OnMiss(base + 64)
+	if got := p.OnMiss(base + 64); got != nil {
+		t.Fatalf("repeat miss should not prefetch: %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(cfg())
+	base := uint64(0x10000)
+	p.OnMiss(base)
+	p.OnMiss(base + 64)
+	p.OnMiss(base + 128)
+	if p.Issued() == 0 {
+		t.Fatal("setup failed")
+	}
+	p.Reset()
+	if p.Issued() != 0 {
+		t.Fatal("reset did not clear issue count")
+	}
+	if got := p.OnMiss(base + 192); got != nil {
+		t.Fatalf("reset did not clear streams: %v", got)
+	}
+}
+
+func TestCandidatesAlwaysInPageProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		p := New(cfg())
+		for _, s := range seeds {
+			line := uint64(s) &^ 63
+			page := line &^ 4095
+			for _, c := range p.OnMiss(line) {
+				if c&^4095 != page {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

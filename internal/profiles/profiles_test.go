@@ -1,0 +1,204 @@
+package profiles
+
+import (
+	"testing"
+
+	"xeonomp/internal/trace"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("%d profiles, want 8", len(all))
+	}
+	for _, p := range all {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.Class != "B" {
+			t.Errorf("%s class %q, want B", p.Name, p.Class)
+		}
+	}
+}
+
+func TestStudiedSet(t *testing.T) {
+	s := Studied()
+	names := StudiedNames()
+	if len(s) != 6 || len(names) != 6 {
+		t.Fatalf("studied set size %d/%d, want 6", len(s), len(names))
+	}
+	for i, p := range s {
+		if p.Name != names[i] {
+			t.Errorf("studied[%d] = %s, want %s", i, p.Name, names[i])
+		}
+	}
+	// FT is named in the paper's text; CG is the memory-bound partner; IS
+	// the branch outlier. All three must be studied.
+	for _, want := range []string{"FT", "CG", "IS"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("studied set misses %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("CG")
+	if err != nil || p.Name != "CG" {
+		t.Fatalf("ByName(CG) = %+v, %v", p, err)
+	}
+	if _, err := ByName("cg"); err == nil {
+		t.Error("lower-case name accepted")
+	}
+	if _, err := ByName("ZZ"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestWarmSetsAlignedToStride(t *testing.T) {
+	// The residency analysis requires WarmBytes to be an exact multiple of
+	// WarmStride — otherwise the scan phase-drifts and the footprint
+	// explodes (the bug class the warm calibration hit).
+	for _, p := range All() {
+		ws := p.Params.WarmStride
+		if ws == 0 {
+			ws = 192
+		}
+		if p.Params.WarmBytes%ws != 0 {
+			t.Errorf("%s: WarmBytes %d not a multiple of stride %d", p.Name, p.Params.WarmBytes, ws)
+		}
+	}
+}
+
+func TestHotSetsFitL1UnderHT(t *testing.T) {
+	// Two hot sets must fit the 16 KiB shared L1, or the paper's flat-L1
+	// observation breaks.
+	for _, p := range All() {
+		if 2*p.Params.HotBytes > 16*1024 {
+			t.Errorf("%s: hot set %d too large for HT-shared L1", p.Name, p.Params.HotBytes)
+		}
+	}
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	p, _ := ByName("CG")
+	l, err := p.Layout(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Threads() != 4 {
+		t.Fatal("layout thread count wrong")
+	}
+	if l.Shared.Size != p.SharedBytes || l.Code.Size != p.CodeBytes {
+		t.Fatal("layout region sizes wrong")
+	}
+}
+
+func TestGeneratorSplitsBudget(t *testing.T) {
+	p, _ := ByName("MG")
+	l, err := p.Layout(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Generator(l, 0, 4, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBudget := p.SerialInstr / 4
+	if got := g.Remaining(); got != wantBudget {
+		t.Fatalf("per-thread budget %d, want %d", got, wantBudget)
+	}
+	// Chunk length shrinks with the thread count.
+	if g.Params().ChunkInstr != p.Params.ChunkInstr/4 {
+		t.Fatalf("chunk %d, want %d", g.Params().ChunkInstr, p.Params.ChunkInstr/4)
+	}
+}
+
+func TestGeneratorScale(t *testing.T) {
+	p, _ := ByName("MG")
+	l, _ := p.Layout(1, 1)
+	g, err := p.Generator(l, 0, 1, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Remaining() != int64(float64(p.SerialInstr)*0.1) {
+		t.Fatalf("scaled budget %d", g.Remaining())
+	}
+	if _, err := p.Generator(l, 0, 0, 1, 1); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := p.Generator(l, 0, 1, 0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestValidateCatchesBadProfile(t *testing.T) {
+	p, _ := ByName("CG")
+	p.SerialInstr = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero budget accepted")
+	}
+	p, _ = ByName("CG")
+	p.PrivBytes = 0
+	if err := p.Validate(); err == nil {
+		t.Error("private region smaller than hot+warm accepted")
+	}
+}
+
+func TestProfileRolesMatchTheStudy(t *testing.T) {
+	// Structural expectations the characterization relies on.
+	cg, _ := ByName("CG")
+	ft, _ := ByName("FT")
+	is, _ := ByName("IS")
+	ep, _ := ByName("EP")
+
+	if cg.Params.RandFrac <= ft.Params.RandFrac {
+		t.Error("CG should be the most irregular benchmark")
+	}
+	if is.Params.DataBranchFrac < 0.5 {
+		t.Error("IS must be dominated by data-dependent branches")
+	}
+	if ep.SharedBytes >= cg.SharedBytes {
+		t.Error("EP must have a tiny shared working set")
+	}
+	// CG's warm set must fit two-per-L2 with margin (no HT thrash: it is
+	// the paper's HT-on exception). FT's must be large enough that an
+	// FT+FT core overflows the 1 MiB L2 once streaming noise is added,
+	// while a CG+FT core still fits — the pair-symbiosis mechanism.
+	cgFoot := cg.Params.WarmBytes / cg.Params.WarmStride * 64
+	ftFoot := ft.Params.WarmBytes / ft.Params.WarmStride * 64
+	if 2*cgFoot > (1<<20)*6/10 {
+		t.Errorf("CG warm footprint %d too large to be HT-neutral", cgFoot)
+	}
+	if 2*ftFoot <= (1<<20)*55/100 {
+		t.Errorf("FT warm footprint %d too small to thrash under HT with noise", ftFoot)
+	}
+	if cgFoot+ftFoot >= 2*ftFoot {
+		t.Error("mixed CG+FT footprint must be strictly below FT+FT")
+	}
+}
+
+func TestParamsAreCompleteTraceParams(t *testing.T) {
+	// Every profile must produce a generator without tweaks.
+	for _, p := range All() {
+		l, err := p.Layout(1, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for tid := 0; tid < 8; tid++ {
+			g, err := p.Generator(l, tid, 8, 0.001, 1)
+			if err != nil {
+				t.Fatalf("%s tid %d: %v", p.Name, tid, err)
+			}
+			var in trace.Instr
+			if !g.Next(&in) {
+				t.Fatalf("%s produced no instructions", p.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"xeonomp/internal/stats"
+)
+
+// SVG rendering of the paper's figure styles: grouped bar charts (Figures
+// 2-4) and box-and-whisker plots (Figure 5). The output is self-contained
+// SVG 1.1 with no external dependencies, suitable for embedding in reports.
+
+// svgPalette cycles through distinguishable series colours.
+var svgPalette = []string{
+	"#4878d0", "#ee854a", "#6acc64", "#d65f5f",
+	"#956cb4", "#8c613c", "#dc7ec0", "#797979",
+}
+
+type svgCanvas struct {
+	b    strings.Builder
+	w, h int
+}
+
+func newCanvas(w, h int) *svgCanvas {
+	c := &svgCanvas{w: w, h: h}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+func (c *svgCanvas) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x, y, w, h, fill)
+}
+
+func (c *svgCanvas) line(x1, y1, x2, y2 float64, stroke string) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n", x1, y1, x2, y2, stroke)
+}
+
+func (c *svgCanvas) text(x, y float64, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" text-anchor="%s">%s</text>`+"\n", x, y, anchor, escape(s))
+}
+
+func (c *svgCanvas) close() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// BarChartSVG renders grouped bars: one group per row label, one bar per
+// series. values[group][series] must be rectangular and non-negative.
+func BarChartSVG(title string, groups, series []string, values [][]float64) (string, error) {
+	if len(groups) != len(values) {
+		return "", fmt.Errorf("report: %d groups but %d value rows", len(groups), len(values))
+	}
+	for i, row := range values {
+		if len(row) != len(series) {
+			return "", fmt.Errorf("report: group %d has %d values for %d series", i, len(row), len(series))
+		}
+	}
+	maxV := 0.0
+	for _, row := range values {
+		for _, v := range row {
+			if v < 0 {
+				return "", fmt.Errorf("report: negative bar value %v", v)
+			}
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	const (
+		mLeft, mRight, mTop, mBottom = 50.0, 20.0, 40.0, 60.0
+		plotH                        = 240.0
+	)
+	groupW := math.Max(30, float64(len(series))*12+8)
+	plotW := groupW * float64(len(groups))
+	width := int(mLeft + plotW + mRight)
+	height := int(mTop + plotH + mBottom)
+	c := newCanvas(width, height)
+	c.text(float64(width)/2, 18, "middle", title)
+
+	// Axes and gridlines.
+	c.line(mLeft, mTop, mLeft, mTop+plotH, "#333")
+	c.line(mLeft, mTop+plotH, mLeft+plotW, mTop+plotH, "#333")
+	for i := 0; i <= 4; i++ {
+		v := maxV * float64(i) / 4
+		y := mTop + plotH - plotH*float64(i)/4
+		c.line(mLeft, y, mLeft+plotW, y, "#ddd")
+		c.text(mLeft-4, y+4, "end", trimNum(v))
+	}
+
+	barW := (groupW - 8) / float64(len(series))
+	for gi, row := range values {
+		gx := mLeft + groupW*float64(gi) + 4
+		for si, v := range row {
+			h := plotH * v / maxV
+			c.rect(gx+barW*float64(si), mTop+plotH-h, barW-1, h, svgPalette[si%len(svgPalette)])
+		}
+		c.text(gx+(groupW-8)/2, mTop+plotH+14, "middle", groups[gi])
+	}
+
+	// Legend.
+	lx := mLeft
+	ly := mTop + plotH + 32.0
+	for si, name := range series {
+		c.rect(lx, ly-9, 10, 10, svgPalette[si%len(svgPalette)])
+		c.text(lx+14, ly, "start", name)
+		lx += float64(14 + 7*len(name) + 16)
+		if lx > float64(width)-mRight-80 {
+			lx = mLeft
+			ly += 16
+		}
+	}
+	return c.close(), nil
+}
+
+// BoxPlotSVG renders vertical box-and-whisker plots, one per label — the
+// Figure 5 style (box = interquartile range, whiskers = min/max, bar =
+// median).
+func BoxPlotSVG(title string, labels []string, boxes []stats.BoxPlot) (string, error) {
+	if len(labels) != len(boxes) {
+		return "", fmt.Errorf("report: %d labels for %d boxes", len(labels), len(boxes))
+	}
+	if len(boxes) == 0 {
+		return "", fmt.Errorf("report: no boxes")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	span := hi - lo
+
+	const (
+		mLeft, mRight, mTop, mBottom = 50.0, 20.0, 40.0, 70.0
+		plotH                        = 240.0
+		colW                         = 56.0
+	)
+	plotW := colW * float64(len(boxes))
+	width := int(mLeft + plotW + mRight)
+	height := int(mTop + plotH + mBottom)
+	c := newCanvas(width, height)
+	c.text(float64(width)/2, 18, "middle", title)
+
+	yOf := func(v float64) float64 { return mTop + plotH - plotH*(v-lo)/span }
+	c.line(mLeft, mTop, mLeft, mTop+plotH, "#333")
+	for i := 0; i <= 4; i++ {
+		v := lo + span*float64(i)/4
+		y := yOf(v)
+		c.line(mLeft, y, mLeft+plotW, y, "#ddd")
+		c.text(mLeft-4, y+4, "end", trimNum(v))
+	}
+
+	for i, b := range boxes {
+		cx := mLeft + colW*float64(i) + colW/2
+		// Whiskers.
+		c.line(cx, yOf(b.Min), cx, yOf(b.Max), "#333")
+		c.line(cx-8, yOf(b.Min), cx+8, yOf(b.Min), "#333")
+		c.line(cx-8, yOf(b.Max), cx+8, yOf(b.Max), "#333")
+		// Box.
+		top := yOf(b.Q3)
+		c.rect(cx-14, top, 28, math.Max(1, yOf(b.Q1)-top), svgPalette[0])
+		// Median.
+		c.line(cx-14, yOf(b.Median), cx+14, yOf(b.Median), "#fff")
+		// Rotated label.
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" text-anchor="end" transform="rotate(-45 %.1f %.1f)">%s</text>`+"\n",
+			cx, mTop+plotH+14, cx, mTop+plotH+14, escape(labels[i]))
+	}
+	return c.close(), nil
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

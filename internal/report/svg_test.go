@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"xeonomp/internal/stats"
+)
+
+func TestBarChartSVG(t *testing.T) {
+	svg, err := BarChartSVG("Figure 3", []string{"CG", "MG"}, []string{"a", "b", "c"},
+		[][]float64{{1, 2, 3}, {2, 1.5, 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "Figure 3", "CG", "MG", "<rect", "#4878d0"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// One bar rect per value plus background and legend swatches.
+	if n := strings.Count(svg, "<rect"); n < 6 {
+		t.Errorf("only %d rects", n)
+	}
+}
+
+func TestBarChartSVGErrors(t *testing.T) {
+	if _, err := BarChartSVG("t", []string{"g"}, []string{"s"}, nil); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	if _, err := BarChartSVG("t", []string{"g"}, []string{"s"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("column mismatch accepted")
+	}
+	if _, err := BarChartSVG("t", []string{"g"}, []string{"s"}, [][]float64{{-1}}); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestBarChartSVGAllZero(t *testing.T) {
+	svg, err := BarChartSVG("z", []string{"g"}, []string{"s"}, [][]float64{{0}})
+	if err != nil || !strings.Contains(svg, "</svg>") {
+		t.Fatalf("zero chart failed: %v", err)
+	}
+}
+
+func TestBoxPlotSVG(t *testing.T) {
+	boxes := []stats.BoxPlot{
+		{Min: 1, Q1: 1.5, Median: 2, Q3: 2.5, Max: 3},
+		{Min: 2, Q1: 2.1, Median: 2.3, Q3: 2.6, Max: 3.5},
+	}
+	svg, err := BoxPlotSVG("Figure 5", []string{"HT off -4-2", "HT on -8-2"}, boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 5", "HT off -4-2", "rotate(-45", "<line"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestBoxPlotSVGErrors(t *testing.T) {
+	if _, err := BoxPlotSVG("t", []string{"a"}, nil); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	if _, err := BoxPlotSVG("t", nil, nil); err == nil {
+		t.Error("empty boxes accepted")
+	}
+}
+
+func TestBoxPlotSVGDegenerate(t *testing.T) {
+	boxes := []stats.BoxPlot{{Min: 2, Q1: 2, Median: 2, Q3: 2, Max: 2}}
+	if _, err := BoxPlotSVG("t", []string{"x"}, boxes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape("a<b&c>d") != "a&lt;b&amp;c&gt;d" {
+		t.Fatal("escape wrong")
+	}
+}
+
+func TestTrimNum(t *testing.T) {
+	if trimNum(2.50) != "2.5" || trimNum(3.00) != "3" || trimNum(0.25) != "0.25" {
+		t.Fatal("number trimming wrong")
+	}
+}

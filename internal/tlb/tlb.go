@@ -1,0 +1,134 @@
+// Package tlb models the instruction and data translation lookaside buffers
+// of the simulated Xeon core. A TLB is a small fully-associative (or
+// set-associative) cache of page translations with true-LRU replacement.
+// Both Hyper-Threaded contexts of a core share one ITLB and one DTLB, so
+// enabling HT halves the effective per-thread reach — the mechanism behind
+// the ITLB-miss growth the paper observes on the more complex architectures.
+package tlb
+
+import (
+	"fmt"
+
+	"xeonomp/internal/units"
+)
+
+// Config describes one TLB.
+type Config struct {
+	Name     string
+	Entries  int   // total entries; must be a positive multiple of Assoc
+	Assoc    int   // ways per set; Entries/Assoc must be a power of two
+	PageSize int64 // bytes per page; must be a power of two
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Assoc <= 0 || c.Entries%c.Assoc != 0 {
+		return fmt.Errorf("tlb %s: bad geometry entries=%d assoc=%d", c.Name, c.Entries, c.Assoc)
+	}
+	if !units.IsPow2(int64(c.Entries / c.Assoc)) {
+		return fmt.Errorf("tlb %s: set count %d not a power of two", c.Name, c.Entries/c.Assoc)
+	}
+	if c.PageSize <= 0 || !units.IsPow2(c.PageSize) {
+		return fmt.Errorf("tlb %s: page size %d not a positive power of two", c.Name, c.PageSize)
+	}
+	return nil
+}
+
+type entry struct {
+	vpn   uint64
+	valid bool
+	stamp uint64
+}
+
+// TLB is one translation buffer.
+type TLB struct {
+	cfg       Config
+	entries   []entry
+	numSets   uint64
+	pageShift uint
+	clock     uint64
+}
+
+// New builds a TLB from cfg, panicking on invalid configuration.
+func New(cfg Config) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &TLB{
+		cfg:       cfg,
+		entries:   make([]entry, cfg.Entries),
+		numSets:   uint64(cfg.Entries / cfg.Assoc),
+		pageShift: units.Log2(cfg.PageSize),
+	}
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Page returns the virtual page number of addr.
+func (t *TLB) Page(addr uint64) uint64 { return addr >> t.pageShift }
+
+func (t *TLB) set(vpn uint64) []entry {
+	s := vpn & (t.numSets - 1)
+	base := s * uint64(t.cfg.Assoc)
+	return t.entries[base : base+uint64(t.cfg.Assoc)]
+}
+
+// Access translates addr: it returns true on a TLB hit. On a miss the
+// translation is installed (the page walk itself is charged by the pipeline
+// model), evicting the LRU entry of the set.
+func (t *TLB) Access(addr uint64) bool {
+	vpn := t.Page(addr)
+	set := t.set(vpn)
+	t.clock++
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].stamp = t.clock
+			return true
+		}
+	}
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	set[victim] = entry{vpn: vpn, valid: true, stamp: t.clock}
+	return false
+}
+
+// Probe reports whether the translation for addr is resident, without
+// altering state.
+func (t *TLB) Probe(addr uint64) bool {
+	vpn := t.Page(addr)
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all entries (e.g. on a simulated context switch with
+// address-space change).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+}
+
+// Valid returns the number of valid entries.
+func (t *TLB) Valid() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg() Config {
+	return Config{Name: "t", Entries: 8, Assoc: 2, PageSize: 4096} // 4 sets x 2 ways
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "e", Entries: 0, Assoc: 1, PageSize: 4096},
+		{Name: "a", Entries: 8, Assoc: 3, PageSize: 4096},
+		{Name: "s", Entries: 12, Assoc: 2, PageSize: 4096}, // 6 sets not pow2
+		{Name: "p", Entries: 8, Assoc: 2, PageSize: 1000},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%v should be invalid", c)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Name: "bad", Entries: 7, Assoc: 2, PageSize: 4096})
+}
+
+func TestMissInstallsTranslation(t *testing.T) {
+	tl := New(cfg())
+	if tl.Access(0x1234) {
+		t.Fatal("cold TLB must miss")
+	}
+	if !tl.Access(0x1FFF) {
+		t.Fatal("same page must hit after install")
+	}
+	if tl.Access(0x2000) {
+		t.Fatal("next page must miss")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	tl := New(cfg()) // 4 sets
+	// Pages mapping to set 0: page numbers 0, 4, 8.
+	p := func(n uint64) uint64 { return n * 4 * 4096 }
+	tl.Access(p(0))
+	tl.Access(p(1))
+	tl.Access(p(0)) // refresh page 0
+	tl.Access(p(2)) // evicts page 1
+	if !tl.Probe(p(0)) || !tl.Probe(p(2)) || tl.Probe(p(1)) {
+		t.Fatal("LRU replacement wrong")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tl := New(cfg())
+	tl.Access(0)
+	tl.Access(4096)
+	if tl.Valid() != 2 {
+		t.Fatalf("valid = %d", tl.Valid())
+	}
+	tl.Flush()
+	if tl.Valid() != 0 || tl.Probe(0) {
+		t.Fatal("flush incomplete")
+	}
+}
+
+func TestPage(t *testing.T) {
+	tl := New(cfg())
+	if tl.Page(4096) != 1 || tl.Page(4095) != 0 {
+		t.Fatal("page extraction wrong")
+	}
+}
+
+func TestReachProperty(t *testing.T) {
+	// Sequential pages up to the entry count always fit (reach invariant).
+	tl := New(Config{Name: "r", Entries: 64, Assoc: 4, PageSize: 4096})
+	for i := uint64(0); i < 64; i++ {
+		tl.Access(i * 4096)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if !tl.Probe(i * 4096) {
+			t.Fatalf("page %d fell out within reach", i)
+		}
+	}
+}
+
+func TestValidNeverExceedsEntriesProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		tl := New(cfg())
+		for _, a := range addrs {
+			tl.Access(uint64(a))
+		}
+		return tl.Valid() <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessIdempotentHitProperty(t *testing.T) {
+	f := func(a uint32) bool {
+		tl := New(cfg())
+		tl.Access(uint64(a))
+		return tl.Access(uint64(a)) // must hit immediately after install
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream is the instruction-stream abstraction the pipeline model executes:
+// the live Generator implements it, and FileStream replays a recorded
+// stream. WarmSet/HotSet expose the prewarm footprints; Params carries the
+// timing knobs (MLP, DepProb) the cpu layer consumes.
+type Stream interface {
+	Next(in *Instr) bool
+	Params() Params
+	WarmSet() []uint64
+	HotSet() []uint64
+}
+
+var (
+	_ Stream = (*Generator)(nil)
+	_ Stream = (*FileStream)(nil)
+)
+
+// Trace-file format (little endian):
+//
+//	magic   [6]byte  "XTRC01"
+//	mlp     float64  (as IEEE bits)
+//	depProb float64
+//	nWarm   uint32, warm line addresses [nWarm]uint64
+//	nHot    uint32, hot line addresses  [nHot]uint64
+//	records: kind uint8; for Barrier nothing else; otherwise
+//	         pc uint64; for Load/Store addr uint64; for Branch
+//	         taken uint8 + target uint64
+//	terminator: kind = 0xFF
+const traceMagic = "XTRC01"
+
+const recEnd = 0xFF
+
+// WriteTrace drains src and writes it to w. It returns the number of
+// non-barrier instructions written.
+func WriteTrace(w io.Writer, src Stream) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return 0, err
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+	writeU64 := func(v uint64) error {
+		le.PutUint64(scratch[:], v)
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	p := src.Params()
+	if err := binary.Write(bw, le, p.MLP); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(bw, le, p.DepProb); err != nil {
+		return 0, err
+	}
+	for _, set := range [][]uint64{src.WarmSet(), src.HotSet()} {
+		if err := binary.Write(bw, le, uint32(len(set))); err != nil {
+			return 0, err
+		}
+		for _, a := range set {
+			if err := writeU64(a); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	var n int64
+	var in Instr
+	for src.Next(&in) {
+		if err := bw.WriteByte(byte(in.Kind)); err != nil {
+			return n, err
+		}
+		switch in.Kind {
+		case Barrier:
+			continue
+		case Load, Store:
+			if err := writeU64(in.PC); err != nil {
+				return n, err
+			}
+			if err := writeU64(in.Addr); err != nil {
+				return n, err
+			}
+		case Branch:
+			if err := writeU64(in.PC); err != nil {
+				return n, err
+			}
+			t := byte(0)
+			if in.Taken {
+				t = 1
+			}
+			if err := bw.WriteByte(t); err != nil {
+				return n, err
+			}
+			if err := writeU64(in.Target); err != nil {
+				return n, err
+			}
+		default: // Compute
+			if err := writeU64(in.PC); err != nil {
+				return n, err
+			}
+		}
+		n++
+	}
+	if err := bw.WriteByte(recEnd); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// FileStream replays a recorded trace.
+type FileStream struct {
+	r       *bufio.Reader
+	params  Params
+	warm    []uint64
+	hot     []uint64
+	done    bool
+	scratch [8]byte
+	err     error
+}
+
+// NewFileStream parses the header of a recorded trace and prepares replay.
+func NewFileStream(r io.Reader) (*FileStream, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	fs := &FileStream{r: br}
+	le := binary.LittleEndian
+	if err := binary.Read(br, le, &fs.params.MLP); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if err := binary.Read(br, le, &fs.params.DepProb); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	// Replayed params must validate minimally for the cpu layer; fill the
+	// fields the validator needs but replay never consults.
+	fs.params.HotFrac = 1
+	fs.params.LoopLen = 2
+	fs.params.ChunkInstr = 1
+	for i := 0; i < 2; i++ {
+		var n uint32
+		if err := binary.Read(br, le, &n); err != nil {
+			return nil, fmt.Errorf("trace: header: %w", err)
+		}
+		set := make([]uint64, n)
+		for j := range set {
+			if err := binary.Read(br, le, &set[j]); err != nil {
+				return nil, fmt.Errorf("trace: header: %w", err)
+			}
+		}
+		if i == 0 {
+			fs.warm = set
+		} else {
+			fs.hot = set
+		}
+	}
+	return fs, nil
+}
+
+// Params returns the timing knobs recorded in the header.
+func (fs *FileStream) Params() Params { return fs.params }
+
+// WarmSet returns the recorded warm footprint.
+func (fs *FileStream) WarmSet() []uint64 { return fs.warm }
+
+// HotSet returns the recorded hot footprint.
+func (fs *FileStream) HotSet() []uint64 { return fs.hot }
+
+// Err reports a malformed-trace error encountered during replay (Next
+// returns false on error; callers that care should check Err afterwards).
+func (fs *FileStream) Err() error { return fs.err }
+
+func (fs *FileStream) readU64(v *uint64) bool {
+	if _, err := io.ReadFull(fs.r, fs.scratch[:]); err != nil {
+		fs.err = fmt.Errorf("trace: truncated record: %w", err)
+		fs.done = true
+		return false
+	}
+	*v = binary.LittleEndian.Uint64(fs.scratch[:])
+	return true
+}
+
+// Next replays the next record.
+func (fs *FileStream) Next(in *Instr) bool {
+	if fs.done {
+		return false
+	}
+	k, err := fs.r.ReadByte()
+	if err != nil {
+		fs.err = fmt.Errorf("trace: truncated stream: %w", err)
+		fs.done = true
+		return false
+	}
+	if k == recEnd {
+		fs.done = true
+		return false
+	}
+	kind := Kind(k)
+	switch kind {
+	case Barrier:
+		*in = Instr{Kind: Barrier}
+		return true
+	case Load, Store:
+		var pc, addr uint64
+		if !fs.readU64(&pc) || !fs.readU64(&addr) {
+			return false
+		}
+		*in = Instr{Kind: kind, PC: pc, Addr: addr}
+		return true
+	case Branch:
+		var pc, target uint64
+		if !fs.readU64(&pc) {
+			return false
+		}
+		t, err := fs.r.ReadByte()
+		if err != nil {
+			fs.err = fmt.Errorf("trace: truncated branch: %w", err)
+			fs.done = true
+			return false
+		}
+		if !fs.readU64(&target) {
+			return false
+		}
+		*in = Instr{Kind: Branch, PC: pc, Taken: t == 1, Target: target}
+		return true
+	case Compute:
+		var pc uint64
+		if !fs.readU64(&pc) {
+			return false
+		}
+		*in = Instr{Kind: Compute, PC: pc}
+		return true
+	default:
+		fs.err = fmt.Errorf("trace: unknown record kind %d", k)
+		fs.done = true
+		return false
+	}
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func recordStream(t *testing.T, budget int64) (*Generator, *bytes.Buffer) {
+	t.Helper()
+	l := testLayout(t, 2)
+	g, err := NewGenerator(testParams(), l, 0, budget, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no records written")
+	}
+	// A fresh generator with identical parameters for comparison.
+	g2, err := NewGenerator(testParams(), l, 0, budget, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g2, &buf
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	ref, buf := recordStream(t, 20000)
+	fs, err := NewFileStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b Instr
+	i := 0
+	for {
+		ok1 := ref.Next(&a)
+		ok2 := fs.Next(&b)
+		if ok1 != ok2 {
+			t.Fatalf("record %d: live=%v replay=%v", i, ok1, ok2)
+		}
+		if !ok1 {
+			break
+		}
+		if a != b {
+			t.Fatalf("record %d differs: live %+v replay %+v", i, a, b)
+		}
+		i++
+	}
+	if fs.Err() != nil {
+		t.Fatalf("replay error: %v", fs.Err())
+	}
+}
+
+func TestTraceHeaderCarriesTimingKnobs(t *testing.T) {
+	ref, buf := recordStream(t, 1000)
+	fs, err := NewFileStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Params().MLP != ref.Params().MLP || fs.Params().DepProb != ref.Params().DepProb {
+		t.Fatal("timing knobs lost in the header")
+	}
+	if len(fs.WarmSet()) != len(ref.WarmSet()) || len(fs.HotSet()) != len(ref.HotSet()) {
+		t.Fatal("prewarm footprints lost in the header")
+	}
+	if err := fs.Params().Validate(); err != nil {
+		t.Fatalf("replayed params must validate: %v", err)
+	}
+}
+
+func TestTraceRejectsBadMagic(t *testing.T) {
+	if _, err := NewFileStream(strings.NewReader("NOTATRACE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewFileStream(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestTraceTruncatedBodySurfacesError(t *testing.T) {
+	_, buf := recordStream(t, 1000)
+	raw := buf.Bytes()
+	fs, err := NewFileStream(bytes.NewReader(raw[:len(raw)-9])) // cut mid-record
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in Instr
+	for fs.Next(&in) {
+	}
+	if fs.Err() == nil {
+		t.Fatal("truncated trace replayed without error")
+	}
+}
+
+func TestTraceTerminatorStopsReplay(t *testing.T) {
+	_, buf := recordStream(t, 500)
+	// Append garbage after the terminator: replay must stop cleanly first.
+	raw := append(buf.Bytes(), 0xAB, 0xCD)
+	fs, err := NewFileStream(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in Instr
+	n := 0
+	for fs.Next(&in) {
+		n++
+	}
+	if fs.Err() != nil {
+		t.Fatalf("unexpected error: %v", fs.Err())
+	}
+	if n == 0 {
+		t.Fatal("no records replayed")
+	}
+}
+
+func TestWriteTracePreservesBarriers(t *testing.T) {
+	l := testLayout(t, 2)
+	g, err := NewGenerator(testParams(), l, 0, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFileStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	barriers := 0
+	var in Instr
+	for fs.Next(&in) {
+		if in.Kind == Barrier {
+			barriers++
+		}
+	}
+	if barriers != 20000/5000 {
+		t.Fatalf("replayed %d barriers, want %d", barriers, 20000/5000)
+	}
+}
+
+// limitedWriter fails after n bytes, exercising write-error paths.
+type limitedWriter struct {
+	n int
+}
+
+func (w *limitedWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrShortWrite
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+		w.n = 0
+		return len(p), io.ErrShortWrite
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteTraceSurfacesWriteErrors(t *testing.T) {
+	l := testLayout(t, 1)
+	g, err := NewGenerator(testParams(), l, 0, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteTrace(&limitedWriter{n: 64}, g); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}

@@ -1,0 +1,121 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCycles(t *testing.T) {
+	f := Frequency(2.8 * GHz)
+	cases := []struct {
+		ns   float64
+		want int64
+	}{
+		{1.43, 4},     // the paper's L1 latency
+		{10.6, 30},    // L2
+		{136.85, 383}, // memory
+		{0.0001, 1},   // sub-cycle clamps to 1
+	}
+	for _, c := range cases {
+		if got := f.Cycles(c.ns); got != c.want {
+			t.Errorf("Cycles(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestNanosecondsRoundTrip(t *testing.T) {
+	f := Frequency(2.8 * GHz)
+	for _, cyc := range []int64{1, 4, 30, 383, 1000000} {
+		ns := f.Nanoseconds(cyc)
+		if got := f.Cycles(ns); got != cyc {
+			t.Errorf("round trip %d cycles -> %v ns -> %d cycles", cyc, ns, got)
+		}
+	}
+}
+
+func TestOccupancyCycles(t *testing.T) {
+	f := Frequency(2.8 * GHz)
+	// 64 bytes at 3.57 GB/s is ~50 core cycles, the FSB line occupancy.
+	got := f.OccupancyCycles(64, 3.57*GB)
+	if got < 49 || got > 51 {
+		t.Errorf("OccupancyCycles(64, 3.57GB/s) = %d, want ~50", got)
+	}
+	if f.OccupancyCycles(1, 1e12) != 1 {
+		t.Error("occupancy must be at least one cycle")
+	}
+}
+
+func TestOccupancyPanicsOnZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Frequency(1e9).OccupancyCycles(64, 0)
+}
+
+func TestBytesPerCycle(t *testing.T) {
+	f := Frequency(2 * GHz)
+	if got := f.BytesPerCycle(4e9); got != 2 {
+		t.Errorf("BytesPerCycle = %v, want 2", got)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int64{1, 2, 4, 1024, 1 << 40} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int64{0, -1, 3, 6, 1023, 1<<40 + 1} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for i := uint(0); i < 60; i++ {
+		if got := Log2(1 << i); got != i {
+			t.Errorf("Log2(1<<%d) = %d", i, got)
+		}
+	}
+}
+
+func TestLog2PanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Log2(12)
+}
+
+func TestLog2Pow2Property(t *testing.T) {
+	f := func(shift uint8) bool {
+		s := uint(shift % 62)
+		n := int64(1) << s
+		return IsPow2(n) && Log2(n) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:      "512B",
+		KiB:      "1KiB",
+		16 * KiB: "16KiB",
+		MiB:      "1MiB",
+		GiB:      "1GiB",
+		1536:     "1536B", // not a clean KiB multiple
+		3 * MiB:  "3MiB",
+		64 * MiB: "64MiB",
+	}
+	for n, want := range cases {
+		if got := HumanBytes(n); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
