@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench figures lmbench ablations fmt vet clean
+.PHONY: build test test-short race bench bench-cache check figures figures-cached lmbench ablations fmt vet clean
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,25 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
 
-# Regenerate every table and figure at full scale (~25 minutes).
+# The full gate: build, vet, formatting, and the race-enabled test suite.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) test -race ./...
+
+# Cold-vs-warm study time through the run cache (see internal/runcache).
+bench-cache:
+	$(GO) test -run '^$$' -bench 'BenchmarkStudyCache(Cold|Warm)' -benchtime=3x -benchmem
+
+# Regenerate every table and figure at full scale (~25 minutes cold; a
+# warm rerun against the same cache directory is mostly lookups).
 figures:
 	$(GO) run ./cmd/xeonchar -all -scale 1.0
+
+figures-cached:
+	$(GO) run ./cmd/xeonchar -all -scale 1.0 -cache-dir .xeonchar-cache -journal .xeonchar-cache/run.jsonl -resume
 
 lmbench:
 	$(GO) run ./cmd/lmbench

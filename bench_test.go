@@ -21,6 +21,7 @@ import (
 	"xeonomp/internal/machine"
 	"xeonomp/internal/npb"
 	"xeonomp/internal/profiles"
+	"xeonomp/internal/runcache"
 	"xeonomp/internal/sched"
 	"xeonomp/internal/units"
 )
@@ -41,6 +42,43 @@ func benchOptions(scale float64) core.Options {
 	o := core.DefaultOptions()
 	o.Scale = benchScale(scale)
 	return o
+}
+
+// BenchmarkStudyCacheCold runs the single-program study with an empty
+// run cache each iteration — the price of simulating every cell. Compare
+// with BenchmarkStudyCacheWarm (make bench-cache runs both).
+func BenchmarkStudyCacheCold(b *testing.B) {
+	opt := benchOptions(0.05)
+	for i := 0; i < b.N; i++ {
+		cache, err := runcache.New(0, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt.Cache = cache
+		if _, err := core.RunSingleStudy(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStudyCacheWarm runs the same study against a pre-populated
+// run cache, so every cell is a lookup — the warm-rerun price.
+func BenchmarkStudyCacheWarm(b *testing.B) {
+	opt := benchOptions(0.05)
+	cache, err := runcache.New(0, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt.Cache = cache
+	if _, err := core.RunSingleStudy(opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunSingleStudy(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSection3Lmbench regenerates the paper's Section 3 platform

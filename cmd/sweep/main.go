@@ -9,19 +9,26 @@
 //	sweep -ablation smt        # SMT resource partitioning removed
 //	sweep -ablation policy     # block instead of alternating placement (pairs)
 //	sweep -ablation all
+//
+// Ablations share every unablated baseline, so a run cache pays off even
+// within one invocation; the same -cache-dir as cmd/xeonchar can be
+// shared, and -journal/-resume make an interrupted sweep restartable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"xeonomp/internal/cache"
 	"xeonomp/internal/config"
 	"xeonomp/internal/core"
+	"xeonomp/internal/journal"
 	"xeonomp/internal/machine"
 	"xeonomp/internal/profiles"
 	"xeonomp/internal/report"
+	"xeonomp/internal/runcache"
 	"xeonomp/internal/sched"
 	"xeonomp/internal/units"
 )
@@ -85,11 +92,55 @@ func main() {
 	var (
 		which = flag.String("ablation", "all", "prefetch, bus, l2, l2-random, smt, policy, symbiosis or all")
 		scale = flag.Float64("scale", 0.5, "instruction-budget scale factor")
+
+		cacheDir  = flag.String("cache-dir", "", "persist the run cache to this directory (shareable with cmd/xeonchar)")
+		cacheSize = flag.Int("cache-size", 0, "in-memory run-cache entries (0 = default 4096, negative disables caching)")
+		jpath     = flag.String("journal", "", "append every completed cell to this JSONL run journal")
+		resume    = flag.Bool("resume", false, "replay the -journal file before running, skipping already-completed cells")
+		progIvl   = flag.Duration("progress", 10*time.Second, "progress-report interval on stderr (0 disables)")
 	)
 	flag.Parse()
 
 	base := core.DefaultOptions()
 	base.Scale = *scale
+
+	if *cacheSize >= 0 {
+		c, err := runcache.New(*cacheSize, *cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		base.Cache = c
+	}
+	if *resume && *jpath == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -resume requires -journal")
+		os.Exit(2)
+	}
+	if *jpath != "" {
+		if !*resume {
+			if err := os.Remove(*jpath); err != nil && !os.IsNotExist(err) {
+				fail(err)
+			}
+		}
+		jn, err := journal.Open(*jpath)
+		if err != nil {
+			fail(err)
+		}
+		defer jn.Close()
+		if *resume {
+			fmt.Fprintf(os.Stderr, "resuming: %d completed cells replayed from %s\n", jn.Len(), *jpath)
+		}
+		base.Journal = jn
+	}
+	if *progIvl > 0 {
+		base.Progress = journal.NewProgress(os.Stderr, *progIvl)
+		defer func() {
+			base.Progress.Finish()
+			if s := base.Cache.Stats(); s.Hits()+s.Misses > 0 {
+				fmt.Fprintf(os.Stderr, "run cache: %d mem hits, %d disk hits, %d misses (%.1f%% hit rate)\n",
+					s.MemHits, s.DiskHits, s.Misses, 100*s.HitRate())
+			}
+		}()
+	}
 
 	benches := []string{"CG", "MG", "LU"}
 	cfgs := []config.Arch{config.CMT, config.CMPSMP, config.CMTSMP}

@@ -9,6 +9,13 @@
 //	xeonchar -lmbench             # the Section 3 LMbench calibration
 //	xeonchar -scale 0.25 -fig 2   # quicker, smaller instruction budgets
 //	xeonchar -csv -fig 3          # CSV instead of aligned text
+//
+// Long regenerations are cacheable and resumable:
+//
+//	xeonchar -all -cache-dir .xeonchar-cache   # warm second run is mostly lookups
+//	xeonchar -all -journal run.jsonl           # record every completed cell
+//	xeonchar -all -journal run.jsonl -resume   # pick up an interrupted run
+//	xeonchar -all -progress 5s                 # progress/ETA lines on stderr
 package main
 
 import (
@@ -17,13 +24,16 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"xeonomp/internal/config"
 	"xeonomp/internal/core"
+	"xeonomp/internal/journal"
 	"xeonomp/internal/lmbench"
 	"xeonomp/internal/machine"
 	"xeonomp/internal/profiles"
 	"xeonomp/internal/report"
+	"xeonomp/internal/runcache"
 	"xeonomp/internal/sched"
 	"xeonomp/internal/stats"
 )
@@ -46,6 +56,12 @@ func main() {
 		warmup  = flag.Float64("warmup", 0.35, "fraction of the run excluded from counters")
 		phases  = flag.String("phases", "", "print a VTune-style phase time series for the named benchmark (e.g. CG)")
 		archStr = flag.String("arch", string(config.CMT), "architecture for -phases (Table-1 name, e.g. \"CMT\")")
+
+		cacheDir  = flag.String("cache-dir", "", "persist the run cache to this directory (warm reruns become lookups)")
+		cacheSize = flag.Int("cache-size", 0, "in-memory run-cache entries (0 = default 4096, negative disables caching)")
+		jpath     = flag.String("journal", "", "append every completed cell to this JSONL run journal")
+		resume    = flag.Bool("resume", false, "replay the -journal file before running, skipping already-completed cells")
+		progIvl   = flag.Duration("progress", 10*time.Second, "progress-report interval on stderr (0 disables)")
 	)
 	flag.Parse()
 
@@ -66,6 +82,49 @@ func main() {
 	}
 	opt.Seed = *seed
 	opt.WarmupFrac = *warmup
+
+	if *cacheSize >= 0 {
+		cache, err := runcache.New(*cacheSize, *cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		opt.Cache = cache
+	}
+	if *resume && *jpath == "" {
+		fmt.Fprintln(os.Stderr, "xeonchar: -resume requires -journal")
+		os.Exit(2)
+	}
+	if *jpath != "" {
+		if !*resume {
+			// Without -resume a journal records this invocation only.
+			if err := os.Remove(*jpath); err != nil && !os.IsNotExist(err) {
+				fail(err)
+			}
+		}
+		jn, err := journal.Open(*jpath)
+		if err != nil {
+			fail(err)
+		}
+		defer jn.Close()
+		if *resume {
+			fmt.Fprintf(os.Stderr, "resuming: %d completed cells replayed from %s", jn.Len(), *jpath)
+			if n := jn.Skipped(); n > 0 {
+				fmt.Fprintf(os.Stderr, " (%d corrupt line(s) discarded)", n)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		opt.Journal = jn
+	}
+	if *progIvl > 0 {
+		opt.Progress = journal.NewProgress(os.Stderr, *progIvl)
+		defer func() {
+			opt.Progress.Finish()
+			if s := opt.Cache.Stats(); s.Hits()+s.Misses > 0 {
+				fmt.Fprintf(os.Stderr, "run cache: %d mem hits, %d disk hits, %d misses (%.1f%% hit rate), %d evictions\n",
+					s.MemHits, s.DiskHits, s.Misses, 100*s.HitRate(), s.Evictions)
+			}
+		}()
+	}
 	switch *policy {
 	case "alternate":
 		opt.Policy = sched.Alternate

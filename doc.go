@@ -5,8 +5,11 @@
 // benchmark implementations, and a characterization framework that
 // regenerates every table and figure of the paper.
 //
-// See README.md for the tour, DESIGN.md for the system inventory and
-// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// See README.md for the tour, ARCHITECTURE.md for the module map and
+// data flow, DESIGN.md for the system inventory and substitutions, and
+// EXPERIMENTS.md for paper-vs-measured results. Long regenerations are
+// cacheable and resumable through internal/runcache (content-addressed
+// run cache) and internal/journal (JSONL run journal + progress). The
 // benchmarks in bench_test.go regenerate each experiment:
 //
 //	go test -bench=. -benchmem

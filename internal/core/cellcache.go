@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/counters"
+	"xeonomp/internal/machine"
+	"xeonomp/internal/runcache"
+)
+
+// runSchemaVersion identifies the result encoding and the simulator's
+// observable behaviour in every cache key. Bump it whenever either
+// changes so stale cache and journal entries miss instead of resurfacing
+// results the current code would not produce.
+const runSchemaVersion = "xeonomp/run/v1"
+
+// CacheKey returns the content-address identity of running workload w
+// under cfg with opt — the runcache key core.Run uses. Exported so tools
+// can inspect or prune cache entries for specific cells.
+func CacheKey(w Workload, cfg config.Configuration, opt Options) runcache.Key {
+	return runcache.Key{
+		Schema:         runSchemaVersion,
+		Machine:        opt.machineConfig(),
+		Workload:       w.Programs,
+		Config:         cfg,
+		Policy:         opt.Policy,
+		Seed:           opt.Seed,
+		Scale:          opt.Scale,
+		WarmupFrac:     opt.WarmupFrac,
+		CycleLimit:     opt.CycleLimit,
+		SampleInterval: opt.SampleInterval,
+	}
+}
+
+// cellLabel renders the human-readable journal label for a cell.
+func cellLabel(w Workload, cfg config.Configuration, opt Options) string {
+	return fmt.Sprintf("%s|%s|seed=%d", w.Name(), cfg.Name, opt.Seed)
+}
+
+// runCached serves a cell from the run cache or the replayed journal when
+// possible, computing and recording it otherwise. Decode failures —
+// corrupt disk entries, schema drift — degrade to recomputation.
+func runCached(w Workload, cfg config.Configuration, opt Options) (*RunResult, error) {
+	hash, err := CacheKey(w, cfg, opt).Hash()
+	if err != nil {
+		// An unhashable key cannot happen with plain-data inputs; if it
+		// does, fall back to the uncached path rather than failing the run.
+		res, rerr := runUncached(w, cfg, opt)
+		if rerr == nil {
+			opt.Progress.Done(false)
+		}
+		return res, rerr
+	}
+	if payload, ok := opt.Cache.Get(hash); ok {
+		if res, err := decodeRunResult(payload); err == nil {
+			opt.Progress.Done(true)
+			return res, nil
+		}
+	}
+	if payload, ok := opt.Journal.Replayed(hash); ok {
+		if res, err := decodeRunResult(payload); err == nil {
+			// Promote into the cache so later lookups skip the journal map.
+			_ = opt.Cache.Put(hash, payload)
+			opt.Progress.Done(true)
+			return res, nil
+		}
+	}
+	res, err := runUncached(w, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	if payload, err := encodeRunResult(res); err == nil {
+		// Best effort: a full disk or read-only journal must not fail the
+		// simulation that just succeeded.
+		_ = opt.Cache.Put(hash, payload)
+		_ = opt.Journal.Append(hash, cellLabel(w, cfg, opt), payload)
+	}
+	opt.Progress.Done(false)
+	return res, nil
+}
+
+// eventByName maps counter-event names back to events for decoding.
+var eventByName = func() map[string]counters.Event {
+	m := map[string]counters.Event{}
+	for _, e := range counters.Events() {
+		m[e.String()] = e
+	}
+	return m
+}()
+
+// cellProgram is the cache encoding of one ProgramResult. Metrics are
+// not stored: they are re-derived from the counters on decode, so a
+// cached result cannot disagree with what Derive produces today.
+type cellProgram struct {
+	Benchmark string            `json:"benchmark"`
+	Threads   int               `json:"threads"`
+	Cycles    int64             `json:"cycles"`
+	Counters  map[string]uint64 `json:"counters,omitempty"`
+}
+
+// cellSample is the cache encoding of one sampler window.
+type cellSample struct {
+	Start    int64             `json:"start"`
+	End      int64             `json:"end"`
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// cellResult is the full-fidelity cache encoding of a RunResult.
+type cellResult struct {
+	Schema     string               `json:"schema"`
+	Config     config.Configuration `json:"config"`
+	WallCycles int64                `json:"wall_cycles"`
+	Programs   []cellProgram        `json:"programs"`
+	Samples    []cellSample         `json:"samples,omitempty"`
+}
+
+// countersToMap flattens a counter set to its non-zero events by name.
+func countersToMap(s *counters.Set) map[string]uint64 {
+	var m map[string]uint64
+	for _, e := range counters.Events() {
+		if v := s.Get(e); v != 0 {
+			if m == nil {
+				m = map[string]uint64{}
+			}
+			m[e.String()] = v
+		}
+	}
+	return m
+}
+
+// countersFromMap rebuilds a counter set; unknown event names mean the
+// entry was written by different code and must not be trusted.
+func countersFromMap(m map[string]uint64) (counters.Set, error) {
+	var s counters.Set
+	for name, v := range m {
+		e, ok := eventByName[name]
+		if !ok {
+			return counters.Set{}, fmt.Errorf("core: unknown counter event %q in cached result", name)
+		}
+		s.Add(e, v)
+	}
+	return s, nil
+}
+
+// encodeRunResult serializes r for the run cache and journal.
+func encodeRunResult(r *RunResult) ([]byte, error) {
+	out := cellResult{
+		Schema:     runSchemaVersion,
+		Config:     r.Config,
+		WallCycles: r.WallCycles,
+	}
+	for i := range r.Programs {
+		p := &r.Programs[i]
+		out.Programs = append(out.Programs, cellProgram{
+			Benchmark: p.Benchmark,
+			Threads:   p.Threads,
+			Cycles:    p.Cycles,
+			Counters:  countersToMap(&p.Counters),
+		})
+	}
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		out.Samples = append(out.Samples, cellSample{
+			Start:    s.Start,
+			End:      s.End,
+			Counters: countersToMap(&s.Counters),
+		})
+	}
+	return json.Marshal(out)
+}
+
+// decodeRunResult rebuilds a RunResult from a cache or journal payload.
+// Any mismatch — schema drift, unknown events, malformed JSON — is an
+// error; callers treat it as a miss and recompute.
+func decodeRunResult(payload []byte) (*RunResult, error) {
+	var in cellResult
+	if err := json.Unmarshal(payload, &in); err != nil {
+		return nil, fmt.Errorf("core: decoding cached result: %w", err)
+	}
+	if in.Schema != runSchemaVersion {
+		return nil, fmt.Errorf("core: cached result schema %q, want %q", in.Schema, runSchemaVersion)
+	}
+	res := &RunResult{Config: in.Config, WallCycles: in.WallCycles}
+	for _, p := range in.Programs {
+		set, err := countersFromMap(p.Counters)
+		if err != nil {
+			return nil, err
+		}
+		res.Programs = append(res.Programs, ProgramResult{
+			Benchmark: p.Benchmark,
+			Threads:   p.Threads,
+			Cycles:    p.Cycles,
+			Counters:  set,
+			Metrics:   counters.Derive(&set),
+		})
+	}
+	for _, s := range in.Samples {
+		set, err := countersFromMap(s.Counters)
+		if err != nil {
+			return nil, err
+		}
+		res.Samples = append(res.Samples, machine.Sample{Start: s.Start, End: s.End, Counters: set})
+	}
+	return res, nil
+}

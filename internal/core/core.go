@@ -12,8 +12,10 @@ import (
 	"xeonomp/internal/config"
 	"xeonomp/internal/counters"
 	"xeonomp/internal/cpu"
+	"xeonomp/internal/journal"
 	"xeonomp/internal/machine"
 	"xeonomp/internal/profiles"
+	"xeonomp/internal/runcache"
 	"xeonomp/internal/sched"
 )
 
@@ -45,6 +47,19 @@ type Options struct {
 	// owns its machine, so results are identical to sequential execution).
 	// <= 1 runs sequentially.
 	Workers int
+	// Cache, when non-nil, memoizes each simulation cell content-addressed
+	// by (machine config, workload profiles, configuration, placement
+	// policy, seed, scale, warmup, cycle limit, sample interval, schema
+	// version). Cached, resumed, and cold runs produce identical results;
+	// a corrupt entry is recomputed, never trusted.
+	Cache *runcache.Cache
+	// Journal, when non-nil, records every computed cell to an append-only
+	// JSONL file and serves cells replayed from a previous, interrupted
+	// invocation — the -resume path of cmd/xeonchar and cmd/sweep.
+	Journal *journal.Journal
+	// Progress, when non-nil, receives cell-completion events for the
+	// stderr progress reporter (done/total, cache hit rate, ETA).
+	Progress *journal.Progress
 }
 
 // DefaultOptions returns full-scale options with the paper's platform.
@@ -129,11 +144,26 @@ func threadsPerProgram(cfg config.Configuration, programs int) int {
 
 // Run executes workload w under configuration cfg and returns per-program
 // results. Every run uses a freshly built machine, mirroring the paper's
-// independent trials.
+// independent trials. When Options carries a run cache or journal, the
+// cell is served from there when possible and recorded after computing;
+// either way the result is identical to an uncached run.
 func Run(w Workload, cfg config.Configuration, opt Options) (*RunResult, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	if opt.Cache == nil && opt.Journal == nil {
+		res, err := runUncached(w, cfg, opt)
+		if err == nil {
+			opt.Progress.Done(false)
+		}
+		return res, err
+	}
+	return runCached(w, cfg, opt)
+}
+
+// runUncached is the cache-oblivious simulation path: build the machine,
+// place the threads, run the cycle engine, reduce the counters.
+func runUncached(w Workload, cfg config.Configuration, opt Options) (*RunResult, error) {
 	if len(w.Programs) == 0 {
 		return nil, fmt.Errorf("core: empty workload")
 	}

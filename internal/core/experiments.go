@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"xeonomp/internal/config"
 	"xeonomp/internal/profiles"
@@ -11,9 +13,12 @@ import (
 )
 
 // forEachJob runs fn over 0..n-1 with the given worker count (<=1 means
-// sequential). The first error wins; all workers drain before returning.
-// Every run uses its own Machine, so parallel execution cannot change
-// results — TestStudiesWorkerInvariant pins that.
+// sequential). Workers always drain the job channel — even after a
+// failure — so the producer can never deadlock; remaining jobs are
+// skipped once any worker has failed, and all worker errors are
+// aggregated with errors.Join. Every run uses its own Machine, so
+// parallel execution cannot change results — TestStudiesWorkerInvariant
+// pins that.
 func forEachJob(n, workers int, fn func(i int) error) error {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -24,21 +29,24 @@ func forEachJob(n, workers int, fn func(i int) error) error {
 		return nil
 	}
 	jobs := make(chan int)
-	errs := make(chan error, workers)
+	errCh := make(chan error, workers)
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var errs []error
 			for i := range jobs {
+				if failed.Load() {
+					continue // keep draining so the producer never blocks
+				}
 				if err := fn(i); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					return
+					failed.Store(true)
+					errs = append(errs, err)
 				}
 			}
+			errCh <- errors.Join(errs...)
 		}()
 	}
 	for i := 0; i < n; i++ {
@@ -46,12 +54,14 @@ func forEachJob(n, workers int, fn func(i int) error) error {
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
+	close(errCh)
+	var all []error
+	for err := range errCh {
+		if err != nil {
+			all = append(all, err)
+		}
 	}
+	return errors.Join(all...)
 }
 
 // CellKey addresses one (benchmark, configuration) cell of a study.
@@ -91,6 +101,7 @@ func RunSingleStudy(opt Options) (*SingleStudy, error) {
 			jobs = append(jobs, job{bn, cfg})
 		}
 	}
+	opt.Progress.AddTotal(len(jobs))
 	var mu sync.Mutex
 	err := forEachJob(len(jobs), opt.Workers, func(i int) error {
 		j := jobs[i]
@@ -210,6 +221,13 @@ func RunPairStudy(opt Options) (*PairStudy, error) {
 		Results:   map[string]map[string]*RunResult{},
 		Baselines: map[string]int64{},
 	}
+	uniq := map[string]bool{}
+	for _, w := range wls {
+		for _, p := range w.Programs {
+			uniq[p.Name] = true
+		}
+	}
+	opt.Progress.AddTotal(len(uniq) + len(wls)*len(s.Configs))
 	for _, w := range wls {
 		s.Results[w.Name()] = map[string]*RunResult{}
 		for _, p := range w.Programs {
@@ -288,6 +306,7 @@ func RunCrossStudy(opt Options) (*CrossStudy, error) {
 		Boxes:        map[string]stats.BoxPlot{},
 		PairSpeedups: map[string]map[string][]float64{},
 	}
+	opt.Progress.AddTotal(len(profiles.StudiedNames()))
 	baselines := map[string]int64{}
 	for _, name := range profiles.StudiedNames() {
 		p, err := profiles.ByName(name)
@@ -312,6 +331,7 @@ func RunCrossStudy(opt Options) (*CrossStudy, error) {
 			jobs = append(jobs, job{cfg, pr})
 		}
 	}
+	opt.Progress.AddTotal(len(jobs))
 	var mu sync.Mutex
 	err = forEachJob(len(jobs), opt.Workers, func(i int) error {
 		j := jobs[i]

@@ -31,6 +31,7 @@ func RunTrials(w Workload, cfg config.Configuration, opt Options, n int) (*Trial
 		Config:     cfg.Name,
 		PerProgram: make([][]float64, len(w.Programs)),
 	}
+	opt.Progress.AddTotal(n)
 	for i := 0; i < n; i++ {
 		o := opt
 		o.Seed = opt.Seed + uint64(i)*1_000_003

@@ -1,0 +1,177 @@
+// Package journal makes long experiment invocations resumable and their
+// progress observable.
+//
+// A Journal is an append-only JSONL file recording every completed
+// simulation cell together with its serialized result, keyed by the
+// cell's runcache content address. When an invocation dies mid-study,
+// reopening the journal replays the completed cells so the rerun picks up
+// where the previous one stopped; a truncated or corrupted trailing line
+// — the normal debris of a kill — is skipped, never trusted. A Progress
+// reporter prints cells done/total, the cache hit rate, and an ETA to a
+// writer (normally stderr) at a configurable interval.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Entry is one journal line: a completed cell. Key is the runcache
+// content address of the cell's inputs, Cell a human-readable label
+// ("CG/FT|HT on -8-2|seed=1"), and Result the cell's serialized result,
+// in whatever encoding the experiment layer uses for its cache payloads.
+type Entry struct {
+	Key    string          `json:"key"`
+	Cell   string          `json:"cell"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Journal is an append-only JSONL run journal. It is safe for concurrent
+// use, and a nil *Journal is inert, so callers can thread it through
+// unconditionally.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	replayed map[string]json.RawMessage
+	skipped  int
+}
+
+// Open opens (creating if needed) the journal at path and replays any
+// entries already present. Undecodable lines — a truncated or corrupted
+// tail from an interrupted writer — are counted and skipped; everything
+// that decodes is served through Replayed.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	j := &Journal{replayed: map[string]json.RawMessage{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" || len(e.Result) == 0 {
+			j.skipped++
+			continue
+		}
+		j.replayed[e.Key] = append(json.RawMessage(nil), e.Result...)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	// Append after whatever was read. If the previous writer died
+	// mid-line, terminate the partial line first so the next entry does
+	// not fuse with the debris.
+	end, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seeking %s: %w", path, err)
+	}
+	if end > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], end-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: reading %s: %w", path, err)
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("journal: repairing %s: %w", path, err)
+			}
+		}
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// Replayed returns the serialized result recorded for key by a previous
+// (or the current) invocation.
+func (j *Journal) Replayed(key string) ([]byte, bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p, ok := j.replayed[key]
+	return p, ok
+}
+
+// Len returns the number of cells the journal currently knows.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.replayed)
+}
+
+// Skipped returns how many undecodable lines the replay dropped.
+func (j *Journal) Skipped() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.skipped
+}
+
+// Append records a completed cell and flushes it to the file, so an
+// interruption immediately afterwards loses nothing. A key already known
+// (replayed or appended earlier) is not written twice.
+func (j *Journal) Append(key, cell string, result []byte) error {
+	if j == nil {
+		return nil
+	}
+	e := Entry{Key: key, Cell: cell, Result: result}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: encoding %s: %w", cell, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.replayed[key]; ok {
+		return nil
+	}
+	j.replayed[key] = append(json.RawMessage(nil), result...)
+	if _, err := j.w.Write(line); err != nil {
+		return fmt.Errorf("journal: writing %s: %w", cell, err)
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("journal: writing %s: %w", cell, err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: flushing %s: %w", cell, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	ferr := j.w.Flush()
+	cerr := j.f.Close()
+	j.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -1,0 +1,101 @@
+package journal
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports study progress — cells done/total, cache hit rate,
+// elapsed time and ETA — to a writer at a fixed minimum interval. Study
+// drivers announce upcoming work with AddTotal and completions with Done;
+// the reporter prints whenever the interval has elapsed since the last
+// line, plus a final summary from Finish. All methods are safe on a nil
+// receiver, so the experiment layer threads a *Progress through
+// unconditionally.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	interval time.Duration
+	start    time.Time
+	last     time.Time
+	total    int64
+	done     int64
+	cached   int64
+	now      func() time.Time // injectable clock for tests
+}
+
+// NewProgress builds a reporter writing to w at most once per interval
+// (<= 0 selects 10 s). Pass the result even when reporting is unwanted:
+// a nil *Progress is inert.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	now := time.Now
+	t := now()
+	return &Progress{w: w, interval: interval, start: t, last: t, now: now}
+}
+
+// AddTotal announces n upcoming cells, growing the denominator and the
+// ETA horizon.
+func (p *Progress) AddTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total += int64(n)
+}
+
+// Done records one completed cell; fromCache marks it as served by the
+// run cache or journal rather than simulated. A progress line is emitted
+// if the reporting interval has elapsed.
+func (p *Progress) Done(fromCache bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if fromCache {
+		p.cached++
+	}
+	if t := p.now(); t.Sub(p.last) >= p.interval {
+		p.last = t
+		p.emitLocked(t)
+	}
+}
+
+// Finish prints a final summary line regardless of the interval.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.emitLocked(p.now())
+}
+
+// emitLocked writes one progress line; callers hold p.mu.
+func (p *Progress) emitLocked(t time.Time) {
+	total := p.total
+	if p.done > total {
+		total = p.done
+	}
+	elapsed := t.Sub(p.start).Round(time.Second)
+	line := fmt.Sprintf("progress: %d/%d cells", p.done, total)
+	if total > 0 {
+		line += fmt.Sprintf(" (%.1f%%)", 100*float64(p.done)/float64(total))
+	}
+	if p.done > 0 {
+		line += fmt.Sprintf(" | cache hits %d (%.1f%%)", p.cached, 100*float64(p.cached)/float64(p.done))
+	}
+	line += fmt.Sprintf(" | elapsed %s", elapsed)
+	if p.done > 0 && p.done < total {
+		eta := time.Duration(float64(t.Sub(p.start)) / float64(p.done) * float64(total-p.done)).Round(time.Second)
+		line += fmt.Sprintf(" | eta %s", eta)
+	}
+	fmt.Fprintln(p.w, line)
+}

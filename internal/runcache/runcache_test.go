@@ -1,0 +1,238 @@
+package runcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/machine"
+	"xeonomp/internal/profiles"
+	"xeonomp/internal/sched"
+	"xeonomp/internal/units"
+)
+
+func baseKey(t *testing.T) Key {
+	t.Helper()
+	cg, err := profiles.ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := config.ByArch(config.CMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Key{
+		Schema:         "test/v1",
+		Machine:        machine.PaxvilleSMP(),
+		Workload:       []profiles.Profile{cg},
+		Config:         cfg,
+		Policy:         sched.Alternate,
+		Seed:           1,
+		Scale:          1.0,
+		WarmupFrac:     0.35,
+		CycleLimit:     0,
+		SampleInterval: 0,
+	}
+}
+
+// TestKeyStability pins that every input that can change a simulation
+// result changes the content address.
+func TestKeyStability(t *testing.T) {
+	base, err := baseKey(t).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := []struct {
+		name   string
+		mutate func(*Key)
+	}{
+		{"schema", func(k *Key) { k.Schema = "test/v2" }},
+		{"machine L2 size", func(k *Key) { k.Machine.L2.Size = 2 * units.MiB }},
+		{"machine FSB bandwidth", func(k *Key) { k.Machine.FSBBandwidth /= 2 }},
+		{"machine SMT clash", func(k *Key) { k.Machine.Lat.SMTClash = 0 }},
+		{"machine prefetch gate", func(k *Key) { k.Machine.PrefetchGate = -1 }},
+		{"machine topology", func(k *Key) { k.Machine.Chips = 1 }},
+		{"profile name", func(k *Key) { k.Workload[0].Name = "FT" }},
+		{"profile instruction budget", func(k *Key) { k.Workload[0].SerialInstr++ }},
+		{"profile working set", func(k *Key) { k.Workload[0].Params.WarmBytes++ }},
+		{"workload size", func(k *Key) { k.Workload = append(k.Workload, k.Workload[0]) }},
+		{"config name", func(k *Key) { k.Config.Name = "other" }},
+		{"config contexts", func(k *Key) { k.Config.Contexts = k.Config.Contexts[:1] }},
+		{"config threads", func(k *Key) { k.Config.Threads++ }},
+		{"policy", func(k *Key) { k.Policy = sched.Block }},
+		{"seed", func(k *Key) { k.Seed++ }},
+		{"scale", func(k *Key) { k.Scale = 0.5 }},
+		{"warmup", func(k *Key) { k.WarmupFrac = 0 }},
+		{"cycle limit", func(k *Key) { k.CycleLimit = 1 }},
+		{"sample interval", func(k *Key) { k.SampleInterval = 500_000 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			k := baseKey(t)
+			m.mutate(&k)
+			h, err := k.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h == base {
+				t.Fatalf("mutating %s did not change the cache key", m.name)
+			}
+		})
+	}
+}
+
+// TestKeyRemarshalStable pins that hashing is a pure function of the
+// Key's value: repeated hashing and a JSON round trip do not change it.
+func TestKeyRemarshalStable(t *testing.T) {
+	k := baseKey(t)
+	h1, err := k.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := k.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("re-hashing changed the key: %s vs %s", h1, h2)
+	}
+	b, err := json.Marshal(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k2 Key
+	if err := json.Unmarshal(b, &k2); err != nil {
+		t.Fatal(err)
+	}
+	h3, err := k2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 != h1 {
+		t.Fatalf("JSON round trip changed the key: %s vs %s", h3, h1)
+	}
+}
+
+func TestMemoryTierLRU(t *testing.T) {
+	c, err := New(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatalf("a = %q, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || string(v) != "C" {
+		t.Fatalf("c = %q, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.MemHits != 3 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put("deadbeef", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache over the same directory serves the entry from disk.
+	c2, err := New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c2.Get("deadbeef")
+	if !ok || string(v) != `{"x":1}` {
+		t.Fatalf("disk get = %q, %v", v, ok)
+	}
+	if s := c2.Stats(); s.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want one disk hit", s)
+	}
+	// Promoted to memory: second get is a memory hit.
+	if _, ok := c2.Get("deadbeef"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if s := c2.Stats(); s.MemHits != 1 {
+		t.Fatalf("stats = %+v, want one memory hit", s)
+	}
+}
+
+// TestDiskCorruptionIsAMiss pins the corruption-safety contract: a
+// damaged entry reads as a miss and is removed, never returned.
+func TestDiskCorruptionIsAMiss(t *testing.T) {
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"flipped payload byte": func(b []byte) []byte { b[len(b)-2] ^= 0xff; return b },
+		"truncated":            func(b []byte) []byte { return b[:len(b)/2] },
+		"no header":            func([]byte) []byte { return []byte("garbage") },
+		"empty":                func([]byte) []byte { return nil },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := New(0, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put("cafe", []byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, "cafe.run")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := New(0, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := fresh.Get("cafe"); ok {
+				t.Fatalf("corrupt entry served: %q", v)
+			}
+			if s := fresh.Stats(); s.DiskErrors != 1 || s.Misses != 1 {
+				t.Fatalf("stats = %+v, want one disk error and one miss", s)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry not removed")
+			}
+			// The slot is reusable after recomputation.
+			if err := fresh.Put("cafe", []byte("recomputed")); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := fresh.Get("cafe"); !ok || string(v) != "recomputed" {
+				t.Fatalf("recomputed entry = %q, %v", v, ok)
+			}
+		})
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("x"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if err := c.Put("x", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache not inert")
+	}
+}
