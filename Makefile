@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench bench-cache check figures figures-cached lmbench ablations fmt vet clean
+.PHONY: build test test-short race bench bench-cache check ci check-golden update-golden figures figures-cached lmbench ablations fmt vet clean
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,10 @@ race:
 	$(GO) test -race -short ./...
 
 # One benchmark per paper table/figure; XEONOMP_BENCH_SCALE overrides the
-# per-iteration workload scale.
+# per-iteration workload scale. -run '^$$' keeps the unit-test suite from
+# re-running before the benchmarks do.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x
 
 # The full gate: build, vet, formatting, and the race-enabled test suite.
 check:
@@ -29,6 +30,39 @@ check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) test -race ./...
+
+# GOLDEN_SCALE is the reduced instruction-budget scale the checked-in
+# testdata/golden artifacts were generated at; -check refuses to compare
+# across scales, so the two targets below must agree.
+GOLDEN_SCALE := 0.1
+
+# The run cache under .xeonchar-cache is keyed by a hash of the Go sources
+# (tracked and untracked), so any code change starts from a cold cache — a
+# stale cached cell can never mask real metric drift. CI persists the same
+# directory with the same keying (see .github/workflows/ci.yml).
+SRC_HASH := $(shell git ls-files -co --exclude-standard -- '*.go' go.mod | xargs sha256sum 2>/dev/null | sha256sum | cut -c1-16)
+
+# Mirrors .github/workflows/ci.yml step for step, so contributors can
+# reproduce a CI failure locally with a bare `make ci`.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) test -race -short ./...
+	$(MAKE) check-golden
+
+# The paper-fidelity gate alone: rerun every study at the golden scale and
+# diff against the checked-in artifacts with their tolerance bands.
+check-golden:
+	$(GO) run ./cmd/xeonchar -check testdata/golden -scale $(GOLDEN_SCALE) \
+		-cache-dir .xeonchar-cache/$(SRC_HASH) -progress 30s
+
+# Regenerate testdata/golden after an *intentional* metric change; commit
+# the diff so review sees exactly which paper numbers moved.
+update-golden:
+	$(GO) run ./cmd/xeonchar -update-golden -scale $(GOLDEN_SCALE) \
+		-cache-dir .xeonchar-cache/$(SRC_HASH) -progress 30s
 
 # Cold-vs-warm study time through the run cache (see internal/runcache).
 bench-cache:

@@ -4,10 +4,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"xeonomp/internal/golden"
 	"xeonomp/internal/lmbench"
 	"xeonomp/internal/machine"
 	"xeonomp/internal/units"
@@ -15,6 +18,8 @@ import (
 
 func main() {
 	curve := flag.Bool("curve", false, "print the full lat_mem_rd latency staircase")
+	exportJSON := flag.String("export-json", "", "write the Section-3 golden artifacts into this directory")
+	checkDir := flag.String("check", "", "compare the measurements against the golden artifacts in this directory, failing on drift")
 	flag.Parse()
 
 	m, err := machine.New(machine.PaxvilleSMP())
@@ -42,6 +47,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *exportJSON != "" || *checkDir != "" {
+		if err := runGolden(r, *exportJSON, *checkDir); err != nil {
+			fail(err)
+		}
+		return
+	}
 	fmt.Printf("L1 latency:               %7.2f ns   (paper: 1.43 ns)\n", r.L1Ns)
 	fmt.Printf("L2 latency:               %7.2f ns   (paper: 10.6 ns)\n", r.L2Ns)
 	fmt.Printf("memory latency:           %7.2f ns   (paper: 136.85 ns)\n", r.MemNs)
@@ -49,6 +60,50 @@ func main() {
 	fmt.Printf("write bandwidth, 1 chip:  %7.2f GB/s (paper: 1.77 GB/s)\n", r.WriteBW1/1e9)
 	fmt.Printf("read bandwidth, 2 chips:  %7.2f GB/s (paper: 4.43 GB/s)\n", r.ReadBW2/1e9)
 	fmt.Printf("write bandwidth, 2 chips: %7.2f GB/s (paper: 2.6 GB/s)\n", r.WriteBW2/1e9)
+}
+
+// runGolden exports or checks the two Section-3 artifacts: "lmbench"
+// (simulated measurements, tight band) and "lmbench-paper" (the DESIGN §3
+// paper targets, calibration bands). Unlike cmd/xeonchar -check, which
+// demands the whole golden set, this checks only the artifacts lmbench
+// itself produces, so it works against a full testdata/golden directory.
+func runGolden(r lmbench.Result, exportDir, checkDir string) error {
+	if exportDir != "" {
+		if err := golden.Write(exportDir, r.Artifact(lmbench.GoldenName, golden.Relative(1e-9))); err != nil {
+			return err
+		}
+		if err := golden.Write(exportDir, lmbench.PaperTargets()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s and %s to %s\n",
+			golden.Filename(lmbench.GoldenName), golden.Filename(lmbench.PaperGoldenName), exportDir)
+	}
+	if checkDir == "" {
+		return nil
+	}
+	var failed []string
+	for _, name := range []string{lmbench.GoldenName, lmbench.PaperGoldenName} {
+		g, err := golden.Load(filepath.Join(checkDir, golden.Filename(name)))
+		if errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "skipping %s: not stored in %s\n", name, checkDir)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		rep, err := golden.Compare(g, r.Artifact(name, g.DefaultTol))
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.String())
+		if !rep.OK() {
+			failed = append(failed, name)
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("golden check against %s failed for %v", checkDir, failed)
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -16,6 +16,12 @@
 //	xeonchar -all -journal run.jsonl           # record every completed cell
 //	xeonchar -all -journal run.jsonl -resume   # pick up an interrupted run
 //	xeonchar -all -progress 5s                 # progress/ETA lines on stderr
+//
+// Paper-fidelity regression (see internal/golden and EXPERIMENTS.md):
+//
+//	xeonchar -update-golden -scale 0.1         # regenerate testdata/golden
+//	xeonchar -check testdata/golden -scale 0.1 # fail on any drifted paper metric
+//	xeonchar -export-json out -scale 0.1       # write the artifacts elsewhere
 package main
 
 import (
@@ -52,10 +58,14 @@ func main() {
 		svgdir  = flag.String("svgdir", "", "also render Figures 3 and 5 as SVG into this directory")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers for the studies")
 		jsonOut = flag.String("json", "", "write the single-program study as JSON to this file")
-		machCfg = flag.String("machine", "", "load the platform from a JSON machine config (see machine.Config.WriteJSON)")
-		warmup  = flag.Float64("warmup", 0.35, "fraction of the run excluded from counters")
-		phases  = flag.String("phases", "", "print a VTune-style phase time series for the named benchmark (e.g. CG)")
-		archStr = flag.String("arch", string(config.CMT), "architecture for -phases (Table-1 name, e.g. \"CMT\")")
+
+		exportJSON = flag.String("export-json", "", "run every study and write golden JSON artifacts into this directory")
+		checkDir   = flag.String("check", "", "run every study and compare against the golden artifacts in this directory, failing on drift")
+		updateGold = flag.Bool("update-golden", false, "regenerate the checked-in golden artifacts under "+goldenDir)
+		machCfg    = flag.String("machine", "", "load the platform from a JSON machine config (see machine.Config.WriteJSON)")
+		warmup     = flag.Float64("warmup", 0.35, "fraction of the run excluded from counters")
+		phases     = flag.String("phases", "", "print a VTune-style phase time series for the named benchmark (e.g. CG)")
+		archStr    = flag.String("arch", string(config.CMT), "architecture for -phases (Table-1 name, e.g. \"CMT\")")
 
 		cacheDir  = flag.String("cache-dir", "", "persist the run cache to this directory (warm reruns become lookups)")
 		cacheSize = flag.Int("cache-size", 0, "in-memory run-cache entries (0 = default 4096, negative disables caching)")
@@ -151,8 +161,15 @@ func main() {
 			fmt.Println(t.String())
 		}
 		if *outdir != "" {
-			name := sanitize(t.Title) + ".csv"
-			if err := os.WriteFile(filepath.Join(*outdir, name), []byte(t.CSV()), 0o644); err != nil {
+			name := sanitize(t.Title)
+			if err := os.WriteFile(filepath.Join(*outdir, name+".csv"), []byte(t.CSV()), 0o644); err != nil {
+				fail(err)
+			}
+			j, err := t.JSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(filepath.Join(*outdir, name+".json"), j, 0o644); err != nil {
 				fail(err)
 			}
 		}
@@ -160,6 +177,13 @@ func main() {
 
 	if *phases != "" {
 		if err := runPhases(*phases, *archStr, opt, emit); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *exportJSON != "" || *checkDir != "" || *updateGold {
+		if err := runGolden(opt, *exportJSON, *checkDir, *updateGold); err != nil {
 			fail(err)
 		}
 		return

@@ -9,8 +9,10 @@
 // data flow, DESIGN.md for the system inventory and substitutions, and
 // EXPERIMENTS.md for paper-vs-measured results. Long regenerations are
 // cacheable and resumable through internal/runcache (content-addressed
-// run cache) and internal/journal (JSONL run journal + progress). The
-// benchmarks in bench_test.go regenerate each experiment:
+// run cache) and internal/journal (JSONL run journal + progress), and
+// every reproduced paper number is pinned as a golden artifact under
+// testdata/golden via internal/golden (xeonchar -check is the CI drift
+// gate). The benchmarks in bench_test.go regenerate each experiment:
 //
 //	go test -bench=. -benchmem
 //

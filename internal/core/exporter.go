@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/counters"
+	"xeonomp/internal/golden"
+)
+
+// Exporter sits next to the text renderers in render.go: every study that
+// can draw itself as tables can also serialize itself as golden regression
+// artifacts, so each figure has a machine-readable twin that -check can
+// diff against testdata/golden. Artifacts take the Options the study ran
+// under so provenance (scale, seed) is stamped from the same values.
+type Exporter interface {
+	Artifacts(opt Options) ([]*golden.Artifact, error)
+}
+
+// derivedEps is the relative tolerance for float-derived metrics (miss
+// rates, percentages, CPI, speedups). The simulator is deterministic, so
+// the band only needs to absorb floating-point variation across Go
+// versions and architectures (e.g. fused multiply-add contraction), not
+// measurement noise; a real formula change moves metrics orders of
+// magnitude more than this.
+const derivedEps = 1e-6
+
+// stamp records the run provenance Compare checks before diffing metrics.
+func stamp(a *golden.Artifact, opt Options) *golden.Artifact {
+	a.Scale = opt.Scale
+	a.Seed = opt.Seed
+	return a
+}
+
+// counterID keys a raw counter cell: "BENCH/CONFIG/EVENT".
+func counterID(bench, cfg, event string) string {
+	return bench + "/" + cfg + "/" + event
+}
+
+// Artifacts serializes the single-program study as four artifacts:
+// "single-counters" (raw event counts and cycle totals, exact),
+// "figure2" (the nine derived panels), "figure3" (speedups over serial)
+// and "table2" (average speedup per architecture).
+func (s *SingleStudy) Artifacts(opt Options) ([]*golden.Artifact, error) {
+	raw := golden.New("single-counters", golden.Exact())
+	raw.Note = "raw performance counters per (benchmark, configuration) cell; deterministic, matched exactly"
+	for _, bn := range s.Benchmarks {
+		for _, cfg := range s.Configs {
+			r, err := s.Result(bn, cfg.Name)
+			if err != nil {
+				return nil, err
+			}
+			raw.Add(counterID(bn, cfg.Name, "wall_cycles"), float64(r.WallCycles))
+			raw.Add(counterID(bn, cfg.Name, "program_cycles"), float64(r.Programs[0].Cycles))
+			for _, e := range counters.Events() {
+				raw.Add(counterID(bn, cfg.Name, e.String()), float64(r.Programs[0].Counters.Get(e)))
+			}
+		}
+	}
+
+	fig2 := golden.New("figure2", golden.Relative(derivedEps))
+	fig2.Note = "Figure 2 — the nine counter-derived panels, benchmarks x configurations"
+	for _, p := range panels() {
+		for _, bn := range s.Benchmarks {
+			for _, cfg := range s.Configs {
+				var v float64
+				if p.Get == nil {
+					dv, err := s.DTLBNormalized(bn, cfg.Name)
+					if err != nil {
+						return nil, err
+					}
+					v = dv
+				} else {
+					r, err := s.Result(bn, cfg.Name)
+					if err != nil {
+						return nil, err
+					}
+					v = p.Get(r.Programs[0].Metrics)
+				}
+				fig2.Add(bn+"/"+cfg.Name+"/"+p.Slug, v)
+			}
+		}
+	}
+
+	fig3 := golden.New("figure3", golden.Relative(derivedEps))
+	fig3.Note = "Figure 3 — speedup of each benchmark over its serial run"
+	for _, bn := range s.Benchmarks {
+		for _, cfg := range s.Configs {
+			if cfg.Arch == config.Serial {
+				continue
+			}
+			v, err := s.Speedup(bn, cfg.Name)
+			if err != nil {
+				return nil, err
+			}
+			fig3.Add(bn+"/"+cfg.Name+"/speedup", v)
+		}
+	}
+
+	t2 := golden.New("table2", golden.Relative(derivedEps))
+	t2.Note = "Table 2 — average speedup per architecture"
+	archs, avg, err := s.Table2()
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range archs {
+		t2.Add(string(a)+"/avg_speedup", avg[a])
+	}
+
+	return []*golden.Artifact{stamp(raw, opt), stamp(fig2, opt), stamp(fig3, opt), stamp(t2, opt)}, nil
+}
+
+// Artifacts serializes the fixed-pair study as "figure4": per program
+// instance per workload the nine panels and the multiprogrammed speedup,
+// plus the exact wall cycles of every pair run and serial baseline.
+func (s *PairStudy) Artifacts(opt Options) ([]*golden.Artifact, error) {
+	a := golden.New("figure4", golden.Relative(derivedEps))
+	a.Note = "Figure 4 — fixed multi-programmed pairs (CG/FT, FT/FT, CG/CG)"
+	// s.Baselines is a map; walk workloads for deterministic order.
+	seen := map[string]bool{}
+	for _, w := range s.Workloads {
+		for _, p := range w.Programs {
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				a.AddTol("baseline/"+p.Name+"/wall_cycles", float64(s.Baselines[p.Name]), golden.Exact())
+			}
+		}
+	}
+	for _, w := range s.Workloads {
+		for _, cfg := range s.Configs {
+			res, ok := s.Results[w.Name()][cfg.Name]
+			if !ok {
+				return nil, fmt.Errorf("core: no pair result for %s on %s", w.Name(), cfg.Name)
+			}
+			a.AddTol(w.Name()+"/"+cfg.Name+"/wall_cycles", float64(res.WallCycles), golden.Exact())
+			for gi := range w.Programs {
+				prefix := fmt.Sprintf("%s/%d:%s/%s/", w.Name(), gi, res.Programs[gi].Benchmark, cfg.Name)
+				a.AddTol(prefix+"cycles", float64(res.Programs[gi].Cycles), golden.Exact())
+				sp, err := s.ProgramSpeedup(w, gi, cfg.Name)
+				if err != nil {
+					return nil, err
+				}
+				a.Add(prefix+"speedup", sp)
+				for _, p := range panels() {
+					if p.Get == nil {
+						continue // DTLB normalization is a single-program view
+					}
+					a.Add(prefix+p.Slug, p.Get(res.Programs[gi].Metrics))
+				}
+			}
+		}
+	}
+	return []*golden.Artifact{stamp(a, opt)}, nil
+}
+
+// Artifacts serializes the all-pairs study as "figure5": every per-program
+// speedup of every pair on every configuration, plus the box-plot summary
+// the figure draws.
+func (s *CrossStudy) Artifacts(opt Options) ([]*golden.Artifact, error) {
+	pairs, err := CrossPairs()
+	if err != nil {
+		return nil, err
+	}
+	a := golden.New("figure5", golden.Relative(derivedEps))
+	a.Note = "Figure 5 — cross-product multi-programmed speedups and their box-plot summary"
+	for _, cfg := range s.Configs {
+		for _, pr := range pairs {
+			sp, ok := s.PairSpeedups[cfg.Name][pr[0]+"/"+pr[1]]
+			if !ok {
+				return nil, fmt.Errorf("core: no cross result for %s/%s on %s", pr[0], pr[1], cfg.Name)
+			}
+			for i, v := range sp {
+				a.Add(fmt.Sprintf("%s/%s/%s/speedup.%d", cfg.Name, pr[0], pr[1], i), v)
+			}
+		}
+		box := s.Boxes[cfg.Name]
+		base := cfg.Name + "/box/"
+		a.Add(base+"min", box.Min)
+		a.Add(base+"q1", box.Q1)
+		a.Add(base+"median", box.Median)
+		a.Add(base+"q3", box.Q3)
+		a.Add(base+"max", box.Max)
+		a.AddTol(base+"n", float64(box.N), golden.Exact())
+	}
+	return []*golden.Artifact{stamp(a, opt)}, nil
+}

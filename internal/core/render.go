@@ -10,23 +10,27 @@ import (
 )
 
 // metricPanel names one Figure-2/Figure-4 panel and extracts its value.
+// Slug is the stable lower_snake identifier the golden artifacts key
+// metrics by; renaming one invalidates every stored artifact, so treat
+// slugs as frozen.
 type metricPanel struct {
 	Name    string
+	Slug    string
 	Get     func(m counters.Metrics) float64
 	Percent bool
 }
 
 func panels() []metricPanel {
 	return []metricPanel{
-		{"L1 cache miss rate", func(m counters.Metrics) float64 { return m.L1MissRate }, false},
-		{"L2 cache miss rate", func(m counters.Metrics) float64 { return m.L2MissRate }, false},
-		{"Trace cache miss rate", func(m counters.Metrics) float64 { return m.TCMissRate }, false},
-		{"ITLB miss rate", func(m counters.Metrics) float64 { return m.ITLBMissRate }, false},
-		{"DTLB load+store misses (normalized to serial)", nil, false}, // special-cased
-		{"% stalled cycles", func(m counters.Metrics) float64 { return m.StalledPct }, true},
-		{"Branch prediction rate (%)", func(m counters.Metrics) float64 { return m.BranchPredRate }, true},
-		{"% prefetching bus accesses", func(m counters.Metrics) float64 { return m.PrefetchBusPct }, true},
-		{"CPI", func(m counters.Metrics) float64 { return m.CPI }, false},
+		{"L1 cache miss rate", "l1_miss_rate", func(m counters.Metrics) float64 { return m.L1MissRate }, false},
+		{"L2 cache miss rate", "l2_miss_rate", func(m counters.Metrics) float64 { return m.L2MissRate }, false},
+		{"Trace cache miss rate", "tc_miss_rate", func(m counters.Metrics) float64 { return m.TCMissRate }, false},
+		{"ITLB miss rate", "itlb_miss_rate", func(m counters.Metrics) float64 { return m.ITLBMissRate }, false},
+		{"DTLB load+store misses (normalized to serial)", "dtlb_normalized", nil, false}, // special-cased
+		{"% stalled cycles", "stalled_pct", func(m counters.Metrics) float64 { return m.StalledPct }, true},
+		{"Branch prediction rate (%)", "branch_pred_rate", func(m counters.Metrics) float64 { return m.BranchPredRate }, true},
+		{"% prefetching bus accesses", "prefetch_bus_pct", func(m counters.Metrics) float64 { return m.PrefetchBusPct }, true},
+		{"CPI", "cpi", func(m counters.Metrics) float64 { return m.CPI }, false},
 	}
 }
 

@@ -1,0 +1,159 @@
+package golden
+
+import (
+	"strings"
+	"testing"
+)
+
+// perturbed returns a copy of a with metric id moved to v.
+func perturbed(a *Artifact, id string, v float64) *Artifact {
+	out := New(a.Name, a.DefaultTol)
+	out.Scale, out.Seed, out.Schema = a.Scale, a.Seed, a.Schema
+	for _, m := range a.Metrics {
+		mm := m
+		if mm.ID == id {
+			mm.Value = v
+		}
+		out.Metrics = append(out.Metrics, mm)
+	}
+	return out
+}
+
+// An out-of-tolerance perturbation fails and the report names the cell,
+// both values, and the violated band.
+func TestOutOfToleranceNamesTheCell(t *testing.T) {
+	g := sample()
+	live := perturbed(g, "CG/HT on -4-1/speedup", 1.9)
+	rep, err := Compare(g, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("perturbation outside tolerance passed")
+	}
+	if len(rep.Drifts) != 1 || rep.Drifts[0].ID != "CG/HT on -4-1/speedup" {
+		t.Fatalf("drifts = %+v", rep.Drifts)
+	}
+	out := rep.String()
+	for _, want := range []string{"CG/HT on -4-1/speedup", "1.832", "1.9", "rel 1e-06", "FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A within-tolerance perturbation passes.
+func TestWithinTolerancePasses(t *testing.T) {
+	g := sample()
+	live := perturbed(g, "CG/HT on -4-1/speedup", 1.832*(1+5e-7))
+	rep, err := Compare(g, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("within-tolerance perturbation failed:\n%s", rep)
+	}
+}
+
+// Exact per-metric overrides beat the artifact's relative default.
+func TestExactOverrideCatchesOffByOne(t *testing.T) {
+	g := sample()
+	live := perturbed(g, "CG/Serial/wall_cycles", 123456790)
+	rep, err := Compare(g, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("off-by-one on an exact counter passed")
+	}
+	if d := rep.Drifts[0]; d.ID != "CG/Serial/wall_cycles" || d.Tol.String() != "exact" {
+		t.Fatalf("drift = %+v", d)
+	}
+}
+
+func TestMissingAndUnexpectedMetrics(t *testing.T) {
+	g := sample()
+	live := New(g.Name, g.DefaultTol)
+	live.Scale, live.Seed = g.Scale, g.Seed
+	for _, m := range g.Metrics {
+		if m.ID == "CG/Serial/cpi" {
+			continue // dropped in live
+		}
+		live.Metrics = append(live.Metrics, m)
+	}
+	live.Add("CG/Serial/new_metric", 7)
+	rep, err := Compare(g, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || len(rep.Drifts) != 2 {
+		t.Fatalf("report = %s", rep)
+	}
+	kinds := map[string]DriftKind{}
+	for _, d := range rep.Drifts {
+		kinds[d.ID] = d.Kind
+	}
+	if kinds["CG/Serial/cpi"] != MissingInLive {
+		t.Errorf("dropped metric kind = %v", kinds["CG/Serial/cpi"])
+	}
+	if kinds["CG/Serial/new_metric"] != UnexpectedInLive {
+		t.Errorf("new metric kind = %v", kinds["CG/Serial/new_metric"])
+	}
+}
+
+// A provenance mismatch is diagnosed whole-artifact instead of drowning
+// the report in per-metric drift.
+func TestScaleMismatchIsAProblem(t *testing.T) {
+	g := sample()
+	live := perturbed(g, "", 0)
+	live.Scale = 0.25
+	rep, err := Compare(g, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || len(rep.Problems) != 1 || len(rep.Drifts) != 0 {
+		t.Fatalf("report = %s", rep)
+	}
+	if !strings.Contains(rep.String(), "-scale 0.25") {
+		t.Fatalf("scale mismatch not named:\n%s", rep)
+	}
+}
+
+func TestSchemaMismatchIsAProblem(t *testing.T) {
+	g := sample()
+	live := perturbed(g, "", 0)
+	live.Schema = SchemaVersion + 1
+	rep, err := Compare(g, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || !strings.Contains(rep.String(), "schema mismatch") {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestCompareNameMismatchErrors(t *testing.T) {
+	a := New("a", Exact())
+	a.Add("x", 1)
+	b := New("b", Exact())
+	b.Add("x", 1)
+	if _, err := Compare(a, b); err == nil {
+		t.Fatal("cross-artifact comparison not rejected")
+	}
+}
+
+func TestReportTable(t *testing.T) {
+	g := sample()
+	live := perturbed(g, "mem_latency_ns", 150)
+	rep, err := Compare(g, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Table()
+	out := tab.String()
+	for _, want := range []string{"Golden drift — figure-x", "mem_latency_ns", "136.85", "150", "drifted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("drift table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package golden
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Artifact {
+	a := New("figure-x", Relative(1e-6))
+	a.Scale = 0.1
+	a.Seed = 1
+	a.Add("CG/HT on -4-1/speedup", 1.832)
+	a.Add("CG/Serial/cpi", 2.25)
+	a.AddTol("CG/Serial/wall_cycles", 123456789, Exact())
+	a.AddUnit("mem_latency_ns", 136.85, "ns")
+	return a
+}
+
+func TestToleranceAllows(t *testing.T) {
+	cases := []struct {
+		tol          Tolerance
+		golden, live float64
+		want         bool
+	}{
+		{Exact(), 5, 5, true},
+		{Exact(), 5, 5.0000001, false},
+		{Relative(0.01), 100, 100.9, true},
+		{Relative(0.01), 100, 101.1, false},
+		{Relative(0.01), -100, -100.9, true}, // band scales with |golden|
+		{Tolerance{Abs: 0.5}, 0, 0.4, true},
+		{Tolerance{Abs: 0.5}, 0, 0.6, false},
+		{Exact(), math.NaN(), math.NaN(), true},
+		{Relative(1), math.NaN(), 1, false},
+		{Relative(1), 1, math.NaN(), false},
+	}
+	for i, c := range cases {
+		if got := c.tol.Allows(c.golden, c.live); got != c.want {
+			t.Errorf("case %d: %s.Allows(%g, %g) = %v, want %v", i, c.tol, c.golden, c.live, got, c.want)
+		}
+	}
+}
+
+func TestToleranceString(t *testing.T) {
+	if s := Exact().String(); s != "exact" {
+		t.Errorf("Exact() = %q", s)
+	}
+	if s := Relative(1e-6).String(); s != "rel 1e-06" {
+		t.Errorf("Relative = %q", s)
+	}
+	if s := (Tolerance{Abs: 0.5, Rel: 0.01}).String(); s != "abs 0.5 + rel 0.01" {
+		t.Errorf("mixed = %q", s)
+	}
+}
+
+// Round trip: serialize → write → load → compare is a fixed point, and a
+// second marshal is byte-identical (diff-stability).
+func TestRoundTripFixedPoint(t *testing.T) {
+	dir := t.TempDir()
+	a := sample()
+	b1, err := a.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(dir, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(filepath.Join(dir, Filename("figure-x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("round trip not byte-identical:\n%s\nvs\n%s", b1, b2)
+	}
+	rep, err := Compare(a, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("self-comparison after round trip drifted:\n%s", rep)
+	}
+	if rep.Checked != 4 {
+		t.Fatalf("checked %d metrics, want 4", rep.Checked)
+	}
+}
+
+func TestMarshalSortsMetrics(t *testing.T) {
+	a := New("z", Exact())
+	a.Add("b/metric", 2)
+	a.Add("a/metric", 1)
+	b, err := a.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia, ib := bytes.Index(b, []byte("a/metric")), bytes.Index(b, []byte("b/metric")); ia > ib {
+		t.Fatalf("metrics not sorted by id:\n%s", b)
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	a := New("dup", Exact())
+	a.Add("x", 1)
+	a.Add("x", 2)
+	if _, err := a.MarshalCanonical(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate id not rejected: %v", err)
+	}
+}
+
+func TestBadNameRejected(t *testing.T) {
+	for _, name := range []string{"", "a b", "a/b"} {
+		a := New(name, Exact())
+		a.Add("x", 1)
+		if _, err := a.MarshalCanonical(); err == nil {
+			t.Errorf("name %q not rejected", name)
+		}
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"bbb", "aaa"} {
+		a := New(name, Exact())
+		a.Add("x", 1)
+		if err := Write(dir, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-artifact files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arts, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 2 || arts[0].Name != "aaa" || arts[1].Name != "bbb" {
+		t.Fatalf("LoadDir = %v", arts)
+	}
+}
+
+func TestLoadDirEmpty(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("empty golden directory not rejected")
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(p); err == nil {
+		t.Fatal("corrupt artifact not rejected")
+	}
+}

@@ -1,0 +1,69 @@
+package lmbench
+
+import (
+	"testing"
+
+	"xeonomp/internal/golden"
+)
+
+// The pinned DESIGN §3 targets must accept the live simulated
+// measurements — the same calibration gate as TestSection3Calibration,
+// routed through the golden machinery cmd/xeonchar -check uses.
+func TestPaperTargetsAcceptSimulatedMeasurements(t *testing.T) {
+	r, err := Measure(newMachine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := golden.Compare(PaperTargets(), r.Artifact(PaperGoldenName, golden.Exact()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("simulated measurements outside the paper's calibration bands:\n%s", rep)
+	}
+	if rep.Checked != 7 {
+		t.Fatalf("checked %d metrics, want 7", rep.Checked)
+	}
+}
+
+// The tight self-artifact is a fixed point against a second measurement —
+// the simulator is deterministic.
+func TestMeasurementArtifactIsDeterministic(t *testing.T) {
+	r1, err := Measure(newMachine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Measure(newMachine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := golden.Compare(
+		r1.Artifact(GoldenName, golden.Relative(1e-9)),
+		r2.Artifact(GoldenName, golden.Relative(1e-9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("two measurements disagree:\n%s", rep)
+	}
+}
+
+// A broken latency model — e.g. an L2 suddenly twice as slow — is caught
+// by the paper-target artifact with the cell named.
+func TestPaperTargetsCatchModelDrift(t *testing.T) {
+	r, err := Measure(newMachine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.L2Ns *= 2
+	rep, err := golden.Compare(PaperTargets(), r.Artifact(PaperGoldenName, golden.Exact()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("doubled L2 latency passed the calibration band")
+	}
+	if len(rep.Drifts) != 1 || rep.Drifts[0].ID != "l2_latency_ns" {
+		t.Fatalf("drifts = %+v", rep.Drifts)
+	}
+}

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -102,6 +103,22 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the table as indented JSON ({title, headers, rows}) with a
+// trailing newline — the machine-readable twin of String/CSV that
+// cmd/xeonchar emits next to each CSV under -outdir.
+func (t *Table) JSON() ([]byte, error) {
+	out := struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Headers, t.Rows}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // BoxPlots renders horizontal ASCII box-and-whisker plots, one per label,
