@@ -1,0 +1,72 @@
+// Command xeonlint runs the repo's domain-specific static analyzers (see
+// internal/analysis) over the module: determinism, unit safety, dropped
+// errors, lock misuse, and counter/golden-schema parity.
+//
+// Usage:
+//
+//	xeonlint ./...           # analyze the whole module (the only scope)
+//	xeonlint -list           # print the analyzers and what they guard
+//	xeonlint -tests ./...    # also analyze in-package _test.go files
+//
+// Findings print as "file:line:col: [analyzer] message" and make the exit
+// status 1; a load or usage problem exits 2. Suppress a finding with
+// //xeonlint:ignore <analyzer> <reason> on or above the offending line —
+// unused suppressions are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xeonomp/internal/analysis"
+)
+
+func main() {
+	var (
+		root  = flag.String("root", ".", "module root to analyze (must hold go.mod)")
+		tests = flag.Bool("tests", false, "also analyze in-package _test.go files")
+		list  = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+	// The linter always analyzes the whole module: the cross-package
+	// analyzers need every package loaded anyway. Accept the conventional
+	// ./... argument; reject anything narrower so nobody believes a
+	// partial run happened.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "xeonlint: only whole-module analysis is supported; got %q (use ./... or no argument)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	prog, err := (&analysis.Loader{Root: *root, IncludeTests: *tests}).Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xeonlint:", err)
+		os.Exit(2)
+	}
+	diags := prog.Run(analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "xeonlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,290 @@
+// Package analysis is the repo's domain-specific static-analysis layer:
+// a small linter framework plus the analyzers behind cmd/xeonlint.
+//
+// The golden-artifact gate (internal/golden) catches a drifted paper
+// metric only after the drift has happened; the analyzers here move the
+// invariants that gate depends on to compile time. Five analyzers guard
+// the promises the reproduction makes:
+//
+//   - determinism: no wall clock, no unseeded math/rand, no map-iteration
+//     order leaking into ordered output in simulation/export packages
+//   - unitsafety: no magic ns/Hz/byte conversion literals bypassing
+//     internal/units
+//   - errdrop: no silently dropped error returns (the forEachJob bug class)
+//   - lockcheck: no mutexes copied by value, no goroutine fan-out writing
+//     captured state unlocked
+//   - counterparity: every counters.Metrics column and counters.Event name
+//     has a renderer/exporter twin, so golden JSON schemas cannot silently
+//     lose a column
+//
+// Findings can be suppressed per line with
+//
+//	//xeonlint:ignore <analyzer>[,<analyzer>|all] <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory, and an ignore that suppresses nothing is itself reported, so
+// suppressions cannot rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a message. The driver renders it as "file:line:col: [analyzer] msg".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one type-checked package of a loaded Program.
+type Package struct {
+	// Path is the import path ("xeonomp/internal/core").
+	Path string
+	// Name is the package name ("core", "main").
+	Name string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the parsed sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a set of type-checked packages sharing one FileSet — the
+// whole module, for the cross-package analyzers.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// ByName returns the loaded packages with the given package name.
+func (p *Program) ByName(name string) []*Package {
+	var out []*Package
+	for _, pkg := range p.Packages {
+		if pkg.Name == name {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// Analyzer is one lint pass. Check sees a single package but receives the
+// whole Program so cross-package analyzers (counterparity) can consult
+// their counterpart packages.
+type Analyzer interface {
+	// Name is the stable identifier used in reports and ignore directives.
+	Name() string
+	// Doc is a one-line description for -list.
+	Doc() string
+	// Check returns the analyzer's findings for pkg.
+	Check(prog *Program, pkg *Package) []Diagnostic
+}
+
+// Analyzers returns every registered analyzer in reporting order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		&Determinism{},
+		&UnitSafety{},
+		&ErrDrop{},
+		&LockCheck{},
+		&CounterParity{},
+	}
+}
+
+// ignoreDirective is one parsed //xeonlint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers map[string]bool // nil when "all"
+	used      bool
+}
+
+// matches reports whether the directive suppresses analyzer findings on
+// the given line of its file: the directive's own line or the next one.
+func (d *ignoreDirective) matches(analyzer string, line int) bool {
+	if line != d.pos.Line && line != d.pos.Line+1 {
+		return false
+	}
+	return d.analyzers == nil || d.analyzers[analyzer]
+}
+
+const ignorePrefix = "//xeonlint:ignore"
+
+// parseIgnores extracts the ignore directives of a file. Malformed
+// directives — no analyzer list, unknown analyzer name, or a missing
+// reason — are reported rather than half-obeyed.
+func parseIgnores(fset *token.FileSet, f *ast.File, known map[string]bool) ([]*ignoreDirective, []Diagnostic) {
+	var dirs []*ignoreDirective
+	var diags []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				diags = append(diags, Diagnostic{pos, "xeonlint",
+					"malformed ignore: want //xeonlint:ignore <analyzer>[,<analyzer>|all] <reason>"})
+				continue
+			}
+			d := &ignoreDirective{pos: pos}
+			if fields[0] != "all" {
+				d.analyzers = map[string]bool{}
+				bad := false
+				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						diags = append(diags, Diagnostic{pos, "xeonlint",
+							fmt.Sprintf("ignore names unknown analyzer %q", name)})
+						bad = true
+						break
+					}
+					d.analyzers[name] = true
+				}
+				if bad {
+					continue
+				}
+			}
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs, diags
+}
+
+// Run executes the analyzers over every package of the program, applies
+// the per-line ignore directives, and reports unused ignores. Diagnostics
+// come back sorted by position.
+func (p *Program) Run(analyzers []Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+
+	var diags []Diagnostic
+	ignores := map[string][]*ignoreDirective{} // filename -> directives
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			dirs, bad := parseIgnores(p.Fset, f, known)
+			diags = append(diags, bad...)
+			for _, d := range dirs {
+				ignores[d.pos.Filename] = append(ignores[d.pos.Filename], d)
+			}
+		}
+	}
+
+	for _, pkg := range p.Packages {
+		for _, a := range analyzers {
+			for _, d := range a.Check(p, pkg) {
+				suppressed := false
+				for _, ig := range ignores[d.Pos.Filename] {
+					if ig.matches(d.Analyzer, d.Pos.Line) {
+						ig.used = true
+						suppressed = true
+					}
+				}
+				if !suppressed {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+
+	for _, dirs := range ignores {
+		for _, ig := range dirs {
+			if !ig.used {
+				diags = append(diags, Diagnostic{ig.pos, "xeonlint",
+					"unused ignore directive suppresses nothing; delete it"})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// calleeFunc resolves the called function or method of a call expression,
+// or nil for calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// returnsError reports whether the call's result tuple contains an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// funcBodies visits every function body of f — declarations and literals —
+// exactly once, with the node that owns the body.
+func funcBodies(f *ast.File, visit func(owner ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit(fn, fn.Body)
+		}
+		return true
+	})
+}
+
+// pathHasSuffix reports whether an import path ends with the given
+// slash-separated suffix ("internal/journal" matches
+// "xeonomp/internal/journal" but not "xeonomp/internal/journalx").
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,179 @@
+package analysis_test
+
+import (
+	"bufio"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"xeonomp/internal/analysis"
+)
+
+// Fixture tests: each module under testdata/src seeds violations for one
+// analyzer, annotated in-line as
+//
+//	offending code // want `substring of the expected message`
+//
+// The harness demands an exact match between annotations and diagnostics —
+// every want must be hit on its own line, and every diagnostic must be
+// wanted — so a fixture both proves the analyzer fires and pins the lines
+// it must stay quiet on.
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+type expectation struct {
+	file   string // fixture-relative path
+	line   int
+	substr string
+	hit    bool
+}
+
+func loadFixture(t *testing.T, name string) (*analysis.Program, string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", name)
+	prog, err := (&analysis.Loader{Root: root}).Load()
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, abs
+}
+
+// wantsIn scans every fixture source file for want annotations.
+func wantsIn(t *testing.T, root string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				wants = append(wants, &expectation{file: rel, line: line, substr: m[1]})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func checkFixture(t *testing.T, name string, analyzers []analysis.Analyzer) {
+	t.Helper()
+	prog, root := loadFixture(t, name)
+	diags := prog.Run(analyzers)
+	wants := wantsIn(t, root)
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == rel && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s:%d: [%s] %s", rel, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s:%d containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	checkFixture(t, "determinism", []analysis.Analyzer{&analysis.Determinism{}})
+}
+
+func TestUnitSafety(t *testing.T) {
+	checkFixture(t, "unitsafety", []analysis.Analyzer{&analysis.UnitSafety{}})
+}
+
+func TestErrDrop(t *testing.T) {
+	checkFixture(t, "errdrop", []analysis.Analyzer{&analysis.ErrDrop{}})
+}
+
+func TestLockCheck(t *testing.T) {
+	checkFixture(t, "lockcheck", []analysis.Analyzer{&analysis.LockCheck{}})
+}
+
+func TestCounterParity(t *testing.T) {
+	checkFixture(t, "counterparity", []analysis.Analyzer{&analysis.CounterParity{}})
+}
+
+// TestIgnoreDirectives pins the whole suppression lifecycle on one
+// fixture: a valid ignore above the line and one on the line both
+// suppress, a stale ignore is reported as unused, and the two malformed
+// directives are reported rather than half-obeyed.
+func TestIgnoreDirectives(t *testing.T) {
+	prog, _ := loadFixture(t, "ignores")
+	diags := prog.Run([]analysis.Analyzer{&analysis.ErrDrop{}})
+
+	for _, d := range diags {
+		if d.Analyzer == "errdrop" {
+			t.Errorf("errdrop diagnostic survived its ignore directive: %s", d)
+		}
+	}
+	for _, substr := range []string{
+		"malformed ignore",
+		`unknown analyzer "nosuch"`,
+		"unused ignore directive",
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q in %v", substr, diags)
+		}
+	}
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want exactly 3: %v", len(diags), diags)
+	}
+}
+
+// TestAnalyzersRegistered pins the registry: five analyzers, stable unique
+// names, non-empty docs — the contract -list and the ignore grammar rely
+// on.
+func TestAnalyzersRegistered(t *testing.T) {
+	as := analysis.Analyzers()
+	if len(as) != 5 {
+		t.Fatalf("got %d analyzers, want 5", len(as))
+	}
+	want := []string{"determinism", "unitsafety", "errdrop", "lockcheck", "counterparity"}
+	for i, a := range as {
+		if a.Name() != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name(), want[i])
+		}
+		if a.Doc() == "" {
+			t.Errorf("analyzer %q has no doc", a.Name())
+		}
+	}
+}

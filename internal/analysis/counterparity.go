@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CounterParity is the cross-package schema guard: every metric the
+// counters package declares must have a renderer/exporter twin, so the
+// golden JSON artifacts can never silently lose a column.
+//
+// Two invariants are checked against the package named "counters":
+//
+//   - every exported field of counters.Metrics is read (selected) in at
+//     least one other package — in this tree, core's panels() and the
+//     exporters. A Metrics field nobody renders is a paper metric that
+//     silently stopped flowing into figures and golden artifacts.
+//   - the eventNames table has exactly one non-empty name per declared
+//     Event constant. The array is sized by the compiler, but a forgotten
+//     entry compiles as "" — and an unnamed event serializes as an empty
+//     JSON key, corrupting every artifact that touches it.
+type CounterParity struct{}
+
+func (*CounterParity) Name() string { return "counterparity" }
+func (*CounterParity) Doc() string {
+	return "cross-check counters.Metrics fields and Event names against their renderer/exporter twins"
+}
+
+func (a *CounterParity) Check(prog *Program, pkg *Package) []Diagnostic {
+	// The analyzer anchors on the counters package and looks outward; on
+	// every other package it has nothing to do.
+	if pkg.Name != "counters" {
+		return nil
+	}
+	var diags []Diagnostic
+
+	metrics := a.metricsStruct(pkg)
+	if metrics != nil {
+		used := a.fieldsUsedElsewhere(prog, pkg, metrics)
+		for i := 0; i < metrics.NumFields(); i++ {
+			fld := metrics.Field(i)
+			if !fld.Exported() || used[fld] {
+				continue
+			}
+			diags = append(diags, Diagnostic{prog.Fset.Position(fld.Pos()), a.Name(),
+				fmt.Sprintf("counters.Metrics field %s has no renderer/exporter use outside %s; the golden schema would silently lose this column", fld.Name(), pkg.Path)})
+		}
+	}
+
+	diags = append(diags, a.checkEventNames(prog, pkg)...)
+	return diags
+}
+
+// metricsStruct finds the Metrics struct type in the counters package.
+func (a *CounterParity) metricsStruct(pkg *Package) *types.Struct {
+	obj := pkg.Types.Scope().Lookup("Metrics")
+	if obj == nil {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	return st
+}
+
+// fieldsUsedElsewhere collects the Metrics fields selected in any other
+// package of the program.
+func (a *CounterParity) fieldsUsedElsewhere(prog *Program, counters *Package, metrics *types.Struct) map[*types.Var]bool {
+	fieldSet := map[*types.Var]bool{}
+	for i := 0; i < metrics.NumFields(); i++ {
+		fieldSet[metrics.Field(i)] = true
+	}
+	used := map[*types.Var]bool{}
+	for _, other := range prog.Packages {
+		if other == counters {
+			continue
+		}
+		for _, f := range other.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := other.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				if fld, ok := s.Obj().(*types.Var); ok && fieldSet[fld] {
+					used[fld] = true
+				}
+				return true
+			})
+		}
+	}
+	return used
+}
+
+// checkEventNames verifies the eventNames literal covers every Event
+// constant with a non-empty name.
+func (a *CounterParity) checkEventNames(prog *Program, pkg *Package) []Diagnostic {
+	eventObj := pkg.Types.Scope().Lookup("Event")
+	if eventObj == nil {
+		return nil
+	}
+	eventType := eventObj.Type()
+
+	// Count the exported Event constants; the unexported iota sentinel
+	// (numEvents) sizes the array but is not an event.
+	events := 0
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && c.Exported() && types.Identical(c.Type(), eventType) {
+			events++
+		}
+	}
+	if events == 0 {
+		return nil
+	}
+
+	// Find the eventNames composite literal.
+	var lit *ast.CompositeLit
+	var litPos ast.Node
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if name.Name != "eventNames" && name.Name != "EventNames" {
+					continue
+				}
+				if i < len(vs.Values) {
+					if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						lit, litPos = cl, name
+					}
+				}
+			}
+			return true
+		})
+	}
+	if lit == nil {
+		return nil
+	}
+
+	var diags []Diagnostic
+	if len(lit.Elts) != events {
+		diags = append(diags, Diagnostic{prog.Fset.Position(litPos.Pos()), a.Name(),
+			fmt.Sprintf("eventNames has %d entries for %d Event constants; a missing entry serializes as an empty column name", len(lit.Elts), events)})
+	}
+	for _, elt := range lit.Elts {
+		if bl, ok := elt.(*ast.BasicLit); ok && bl.Value == `""` {
+			diags = append(diags, Diagnostic{prog.Fset.Position(bl.Pos()), a.Name(),
+				"empty event name would serialize as an empty golden-artifact column"})
+		}
+	}
+	return diags
+}

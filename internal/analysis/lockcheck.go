@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LockCheck guards the job fan-out in internal/core (and anything shaped
+// like it) against the two concurrency mistakes a deterministic simulator
+// cannot afford:
+//
+//   - sync primitives copied by value — a receiver, parameter, or result
+//     of a type containing a sync.Mutex/RWMutex/WaitGroup/Once/Cond
+//     duplicates the lock state, so two holders guard nothing
+//   - goroutines launched in a loop that write variables captured from the
+//     enclosing function without any locking in the goroutine body — the
+//     classic fan-out race on shared simulator state
+type LockCheck struct{}
+
+func (*LockCheck) Name() string { return "lockcheck" }
+func (*LockCheck) Doc() string {
+	return "flag sync primitives copied by value and loop goroutines writing captured state unlocked"
+}
+
+func (a *LockCheck) Check(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{prog.Fset.Position(n.Pos()), a.Name(), fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					a.checkFields(pkg, n.Recv, "receiver", report)
+				}
+				a.checkFuncType(pkg, n.Type, report)
+			case *ast.FuncLit:
+				a.checkFuncType(pkg, n.Type, report)
+			case *ast.ForStmt:
+				a.checkLoopGoroutines(pkg, n.Body, report)
+			case *ast.RangeStmt:
+				a.checkLoopGoroutines(pkg, n.Body, report)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func (a *LockCheck) checkFuncType(pkg *Package, ft *ast.FuncType, report func(ast.Node, string, ...any)) {
+	a.checkFields(pkg, ft.Params, "parameter", report)
+	a.checkFields(pkg, ft.Results, "result", report)
+}
+
+// checkFields flags fields whose non-pointer type contains a sync
+// primitive.
+func (a *LockCheck) checkFields(pkg *Package, fl *ast.FieldList, kind string, report func(ast.Node, string, ...any)) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if lock := lockIn(tv.Type, 0); lock != "" {
+			report(field, "%s passes %s by value, copying its %s; use a pointer", kind, types.TypeString(tv.Type, types.RelativeTo(pkg.Types)), lock)
+		}
+	}
+}
+
+// lockIn returns the name of a sync primitive reachable by value inside t
+// ("" if none). Pointers stop the walk: sharing a pointer is the fix.
+func lockIn(t types.Type, depth int) string {
+	if depth > 8 {
+		return ""
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockIn(t.Underlying(), depth+1)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if l := lockIn(t.Field(i).Type(), depth+1); l != "" {
+				return l
+			}
+		}
+	case *types.Array:
+		return lockIn(t.Elem(), depth+1)
+	}
+	return ""
+}
+
+// checkLoopGoroutines flags `go func(){...}()` launched inside a loop
+// whose body assigns to variables captured from outside the closure
+// without taking any lock — the fan-out data race. A closure that calls
+// any .Lock() is given the benefit of the doubt; channel sends and
+// atomics don't assign, so they never trip this.
+func (a *LockCheck) checkLoopGoroutines(pkg *Package, loopBody *ast.BlockStmt, report func(ast.Node, string, ...any)) {
+	ast.Inspect(loopBody, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if callsLock(pkg.Info, lit.Body) {
+			return true
+		}
+		ast.Inspect(lit.Body, func(bn ast.Node) bool {
+			as, ok := bn.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Uses[id] // Defs means := — a new, local var
+				if obj == nil {
+					continue
+				}
+				if _, isVar := obj.(*types.Var); !isVar {
+					continue
+				}
+				// Captured: declared outside the closure.
+				if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+					continue
+				}
+				report(as, "goroutine launched in a loop writes captured variable %q without locking; guard it with a mutex or use a channel", id.Name)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// callsLock reports whether the block calls any method named Lock or
+// RLock.
+func callsLock(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, call); fn != nil && (fn.Name() == "Lock" || fn.Name() == "RLock") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

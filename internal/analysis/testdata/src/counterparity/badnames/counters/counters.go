@@ -1,0 +1,18 @@
+// Package counters (badnames) under-fills its event-name table: two Event
+// constants, one name.
+package counters
+
+// Event identifies one hardware counter.
+type Event int
+
+// Events.
+const (
+	EvA Event = iota
+	EvB
+)
+
+var eventNames = [2]string{ // want `eventNames has 1 entries for 2 Event constants`
+	"a",
+}
+
+var _ = eventNames

@@ -1,0 +1,26 @@
+// Package counters mimics the real metrics schema: one field is rendered
+// elsewhere, one is orphaned, and one event name was forgotten.
+package counters
+
+// Metrics is the per-run metric record.
+type Metrics struct {
+	Used   float64
+	Orphan float64 // want `counters.Metrics field Orphan has no renderer/exporter use`
+}
+
+// Event identifies one hardware counter.
+type Event int
+
+// Events.
+const (
+	EvCycles Event = iota
+	EvMisses
+	numEvents
+)
+
+var eventNames = [numEvents]string{
+	"cycles",
+	"", // want `empty event name`
+}
+
+var _ = eventNames

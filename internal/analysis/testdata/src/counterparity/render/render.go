@@ -1,0 +1,10 @@
+// Package render is the consumer side of the parity check: reading a
+// Metrics field here is what keeps it off the orphan list.
+package render
+
+import "cp/counters"
+
+// Row renders the one metric this fixture cares about.
+func Row(m counters.Metrics) float64 {
+	return m.Used
+}

@@ -1,0 +1,13 @@
+// Package report mimics the real ordered row builder: Add appends a row,
+// so calling it under a map range leaks iteration order.
+package report
+
+// Table accumulates rows in call order.
+type Table struct {
+	rows [][]string
+}
+
+// Add appends one row.
+func (t *Table) Add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}

@@ -1,0 +1,16 @@
+// Package tally mimics the commutative counter set: Add is an increment,
+// not an ordered append, so calling it under a map range is legal.
+package tally
+
+// Set is a bag of named totals.
+type Set struct {
+	c map[string]float64
+}
+
+// Add increments a named total; order of calls cannot be observed.
+func (s *Set) Add(k string, v float64) {
+	if s.c == nil {
+		s.c = map[string]float64{}
+	}
+	s.c[k] += v
+}

@@ -1,0 +1,40 @@
+// Package errfix seeds dropped-error shapes and sanctioned sinks.
+package errfix
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return nil }
+
+func drop() {
+	work() // want `work() returns an error that is dropped`
+}
+
+func launch() {
+	go work() // want `go work() discards`
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want `deferred f.Close() discards`
+}
+
+func fine(f *os.File) error {
+	_ = work()
+	fmt.Println("ok")
+	fmt.Fprintln(os.Stderr, "diagnostic")
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "y")
+	var buf bytes.Buffer
+	buf.WriteByte('z')
+	return f.Close()
+}
+
+var _ = drop
+var _ = launch
+var _ = deferred
+var _ = fine

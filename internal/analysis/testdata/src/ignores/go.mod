@@ -1,0 +1,3 @@
+module ig
+
+go 1.22

@@ -1,0 +1,27 @@
+// Package ig exercises the //xeonlint:ignore directive grammar: a
+// suppression above the line, a suppression on the line, a stale directive
+// that suppresses nothing, and two malformed directives.
+package ig
+
+//xeonlint:ignore
+//xeonlint:ignore nosuch because reasons
+
+func checked() error { return nil }
+
+func suppressedAbove() {
+	//xeonlint:ignore errdrop the result only matters to the caller in this fixture
+	checked()
+}
+
+func suppressedSameLine() {
+	checked() //xeonlint:ignore errdrop recorded elsewhere in this fixture
+}
+
+func stale() error {
+	//xeonlint:ignore errdrop stale directive kept for the unused-ignore test
+	return checked()
+}
+
+var _ = suppressedAbove
+var _ = suppressedSameLine
+var _ = stale

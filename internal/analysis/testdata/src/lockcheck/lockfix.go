@@ -1,0 +1,69 @@
+// Package lockfix seeds copied sync primitives and unlocked fan-out.
+package lockfix
+
+import "sync"
+
+// Guarded embeds a mutex, so passing it by value copies the lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g Guarded) { // want `parameter passes Guarded by value, copying its sync.Mutex`
+	_ = g.n
+}
+
+func (g Guarded) Bump() { // want `receiver passes Guarded by value, copying its sync.Mutex`
+	g.n++
+}
+
+func makeWG() (wg sync.WaitGroup) { // want `result passes sync.WaitGroup by value`
+	return
+}
+
+func byPointer(g *Guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func fanOutBad(gs []*Guarded) {
+	total := 0
+	for _, g := range gs {
+		g := g
+		go func() {
+			total += g.n // want `writes captured variable "total" without locking`
+		}()
+	}
+	_ = total
+}
+
+func fanOutLocked(gs []*Guarded, mu *sync.Mutex) {
+	total := 0
+	for _, g := range gs {
+		g := g
+		go func() {
+			mu.Lock()
+			total += g.n
+			mu.Unlock()
+		}()
+	}
+	_ = total
+}
+
+func fanOutLocal(gs []*Guarded) {
+	for range gs {
+		go func() {
+			local := 1
+			local = local + 1
+			_ = local
+		}()
+	}
+}
+
+var _ = byValue
+var _ = makeWG
+var _ = byPointer
+var _ = fanOutBad
+var _ = fanOutLocked
+var _ = fanOutLocal

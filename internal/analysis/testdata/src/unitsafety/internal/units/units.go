@@ -1,0 +1,11 @@
+// Package units is the one place allowed to spell conversion factors as
+// literals: this is where they get their names.
+package units
+
+// GB is the decimal gigabyte.
+const GB float64 = 1e9
+
+// ToGB converts bytes to decimal gigabytes.
+func ToGB(b float64) float64 {
+	return b / 1e9
+}
