@@ -56,10 +56,10 @@ func main() {
 	fmt.Printf("L1 latency:               %7.2f ns   (paper: 1.43 ns)\n", r.L1Ns)
 	fmt.Printf("L2 latency:               %7.2f ns   (paper: 10.6 ns)\n", r.L2Ns)
 	fmt.Printf("memory latency:           %7.2f ns   (paper: 136.85 ns)\n", r.MemNs)
-	fmt.Printf("read bandwidth, 1 chip:   %7.2f GB/s (paper: 3.57 GB/s)\n", r.ReadBW1/1e9)
-	fmt.Printf("write bandwidth, 1 chip:  %7.2f GB/s (paper: 1.77 GB/s)\n", r.WriteBW1/1e9)
-	fmt.Printf("read bandwidth, 2 chips:  %7.2f GB/s (paper: 4.43 GB/s)\n", r.ReadBW2/1e9)
-	fmt.Printf("write bandwidth, 2 chips: %7.2f GB/s (paper: 2.6 GB/s)\n", r.WriteBW2/1e9)
+	fmt.Printf("read bandwidth, 1 chip:   %7.2f GB/s (paper: 3.57 GB/s)\n", r.ReadBW1/units.GB)
+	fmt.Printf("write bandwidth, 1 chip:  %7.2f GB/s (paper: 1.77 GB/s)\n", r.WriteBW1/units.GB)
+	fmt.Printf("read bandwidth, 2 chips:  %7.2f GB/s (paper: 4.43 GB/s)\n", r.ReadBW2/units.GB)
+	fmt.Printf("write bandwidth, 2 chips: %7.2f GB/s (paper: 2.6 GB/s)\n", r.WriteBW2/units.GB)
 }
 
 // runGolden exports or checks the two Section-3 artifacts: "lmbench"

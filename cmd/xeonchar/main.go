@@ -42,6 +42,7 @@ import (
 	"xeonomp/internal/runcache"
 	"xeonomp/internal/sched"
 	"xeonomp/internal/stats"
+	"xeonomp/internal/units"
 )
 
 func main() {
@@ -84,7 +85,7 @@ func main() {
 			fail(err)
 		}
 		mc, err := machine.LoadConfig(f)
-		f.Close()
+		_ = f.Close() // read-only; the load error is the one that matters
 		if err != nil {
 			fail(err)
 		}
@@ -115,7 +116,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer jn.Close()
+		defer func() {
+			if err := jn.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "xeonchar: closing journal:", err)
+			}
+		}()
 		if *resume {
 			fmt.Fprintf(os.Stderr, "resuming: %d completed cells replayed from %s", jn.Len(), *jpath)
 			if n := jn.Skipped(); n > 0 {
@@ -296,10 +301,10 @@ func runLmbench(emit func(*report.Table)) error {
 	t.Add("L1 latency", fmt.Sprintf("%.2f ns", r.L1Ns), "1.43 ns")
 	t.Add("L2 latency", fmt.Sprintf("%.2f ns", r.L2Ns), "10.6 ns")
 	t.Add("memory latency", fmt.Sprintf("%.2f ns", r.MemNs), "136.85 ns")
-	t.Add("read bandwidth, 1 chip", fmt.Sprintf("%.2f GB/s", r.ReadBW1/1e9), "3.57 GB/s")
-	t.Add("write bandwidth, 1 chip", fmt.Sprintf("%.2f GB/s", r.WriteBW1/1e9), "1.77 GB/s")
-	t.Add("read bandwidth, 2 chips", fmt.Sprintf("%.2f GB/s", r.ReadBW2/1e9), "4.43 GB/s")
-	t.Add("write bandwidth, 2 chips", fmt.Sprintf("%.2f GB/s", r.WriteBW2/1e9), "2.6 GB/s")
+	t.Add("read bandwidth, 1 chip", fmt.Sprintf("%.2f GB/s", r.ReadBW1/units.GB), "3.57 GB/s")
+	t.Add("write bandwidth, 1 chip", fmt.Sprintf("%.2f GB/s", r.WriteBW1/units.GB), "1.77 GB/s")
+	t.Add("read bandwidth, 2 chips", fmt.Sprintf("%.2f GB/s", r.ReadBW2/units.GB), "4.43 GB/s")
+	t.Add("write bandwidth, 2 chips", fmt.Sprintf("%.2f GB/s", r.WriteBW2/units.GB), "2.6 GB/s")
 	emit(t)
 	return nil
 }

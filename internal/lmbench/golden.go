@@ -1,6 +1,9 @@
 package lmbench
 
-import "xeonomp/internal/golden"
+import (
+	"xeonomp/internal/golden"
+	"xeonomp/internal/units"
+)
 
 // Golden artifact names. "lmbench" pins the simulated Section-3
 // measurements against themselves (tight band — catches machine-model
@@ -20,10 +23,10 @@ var metricIDs = []struct {
 	{"l1_latency_ns", "ns", func(r Result) float64 { return r.L1Ns }},
 	{"l2_latency_ns", "ns", func(r Result) float64 { return r.L2Ns }},
 	{"mem_latency_ns", "ns", func(r Result) float64 { return r.MemNs }},
-	{"read_bw_1chip_gbs", "GB/s", func(r Result) float64 { return r.ReadBW1 / 1e9 }},
-	{"write_bw_1chip_gbs", "GB/s", func(r Result) float64 { return r.WriteBW1 / 1e9 }},
-	{"read_bw_2chip_gbs", "GB/s", func(r Result) float64 { return r.ReadBW2 / 1e9 }},
-	{"write_bw_2chip_gbs", "GB/s", func(r Result) float64 { return r.WriteBW2 / 1e9 }},
+	{"read_bw_1chip_gbs", "GB/s", func(r Result) float64 { return r.ReadBW1 / units.GB }},
+	{"write_bw_1chip_gbs", "GB/s", func(r Result) float64 { return r.WriteBW1 / units.GB }},
+	{"read_bw_2chip_gbs", "GB/s", func(r Result) float64 { return r.ReadBW2 / units.GB }},
+	{"write_bw_2chip_gbs", "GB/s", func(r Result) float64 { return r.WriteBW2 / units.GB }},
 }
 
 // Artifact serializes the measurements under the given artifact name.

@@ -16,6 +16,7 @@ import (
 
 	"xeonomp/internal/bus"
 	"xeonomp/internal/machine"
+	"xeonomp/internal/units"
 )
 
 // l1HitCycles is the pipelined L1 load-to-use latency visible to a
@@ -136,7 +137,7 @@ func streamBandwidth(m *machine.Machine, chips int, write bool) (float64, error)
 	if last == 0 {
 		return 0, fmt.Errorf("lmbench: no transactions completed")
 	}
-	seconds := m.Cfg.Freq.Nanoseconds(last) / 1e9
+	seconds := m.Cfg.Freq.Nanoseconds(last) / units.NsPerSecond
 	bw := float64(lines) * float64(line) / seconds
 	m.Reset()
 	return bw, nil

@@ -1,6 +1,10 @@
 package npb
 
-import "time"
+import (
+	"time"
+
+	"xeonomp/internal/units"
+)
 
 // Operation counts for the Mop/s figures the NPB output footer reports.
 // The formulas follow the published NPB operation-count conventions where
@@ -64,5 +68,5 @@ func Mops(ops float64, elapsed time.Duration) float64 {
 	if s <= 0 {
 		return 0
 	}
-	return ops / s / 1e6
+	return ops / s / units.Mega
 }

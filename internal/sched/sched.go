@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"xeonomp/internal/cpu"
+	"xeonomp/internal/units"
 )
 
 // Policy selects a placement strategy.
@@ -66,7 +67,7 @@ type ProgramDemand struct {
 // bandwidth in GB/s plus cache footprint in MiB, equally weighted — both
 // resources saturate near 1 unit on the paper's machine.
 func (d ProgramDemand) score() float64 {
-	return d.Bandwidth/1e9 + float64(d.CacheFootprint)/(1<<20)
+	return d.Bandwidth/units.GB + float64(d.CacheFootprint)/float64(units.MiB)
 }
 
 // Place assigns every thread of every program to a context. Threads beyond

@@ -28,6 +28,14 @@ const (
 // the paper reports LMbench bandwidths.
 const GB float64 = 1e9
 
+// Mega is the bare 10^6 scale factor used for rates reported in millions
+// (the paper's MOPS figures).
+const Mega float64 = 1e6
+
+// NsPerSecond converts between seconds and nanoseconds; derived rates such
+// as bytes/ns -> GB/s should use this instead of a literal 1e9.
+const NsPerSecond float64 = 1e9
+
 // Frequency is a clock rate in Hz.
 type Frequency float64
 
