@@ -61,6 +61,7 @@ func doRecord(path, bench string, scale float64, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	//xeonlint:ignore errdrop backstop double-close; the write path checks the explicit f.Close below
 	defer f.Close()
 	n, err := trace.WriteTrace(f, gen)
 	if err != nil {
@@ -83,6 +84,7 @@ func doReplay(path string) error {
 	if err != nil {
 		return err
 	}
+	//xeonlint:ignore errdrop read-only replay file; a close error cannot corrupt anything
 	defer f.Close()
 	fs, err := trace.NewFileStream(f)
 	if err != nil {

@@ -125,7 +125,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer jn.Close()
+		defer func() {
+			if err := jn.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: closing journal:", err)
+			}
+		}()
 		if *resume {
 			fmt.Fprintf(os.Stderr, "resuming: %d completed cells replayed from %s\n", jn.Len(), *jpath)
 		}

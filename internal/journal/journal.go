@@ -66,7 +66,7 @@ func Open(path string) (*Journal, error) {
 		j.replayed[e.Key] = append(json.RawMessage(nil), e.Result...)
 	}
 	if err := sc.Err(); err != nil {
-		f.Close()
+		_ = f.Close() // the scan error is the one worth reporting
 		return nil, fmt.Errorf("journal: reading %s: %w", path, err)
 	}
 	// Append after whatever was read. If the previous writer died
@@ -74,18 +74,18 @@ func Open(path string) (*Journal, error) {
 	// not fuse with the debris.
 	end, err := f.Seek(0, 2)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // the seek error is the one worth reporting
 		return nil, fmt.Errorf("journal: seeking %s: %w", path, err)
 	}
 	if end > 0 {
 		var last [1]byte
 		if _, err := f.ReadAt(last[:], end-1); err != nil {
-			f.Close()
+			_ = f.Close() // the read error is the one worth reporting
 			return nil, fmt.Errorf("journal: reading %s: %w", path, err)
 		}
 		if last[0] != '\n' {
 			if _, err := f.Write([]byte{'\n'}); err != nil {
-				f.Close()
+				_ = f.Close() // the repair error is the one worth reporting
 				return nil, fmt.Errorf("journal: repairing %s: %w", path, err)
 			}
 		}

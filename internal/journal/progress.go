@@ -97,5 +97,6 @@ func (p *Progress) emitLocked(t time.Time) {
 		eta := time.Duration(float64(t.Sub(p.start)) / float64(p.done) * float64(total-p.done)).Round(time.Second)
 		line += fmt.Sprintf(" | eta %s", eta)
 	}
+	//xeonlint:ignore errdrop best-effort progress line to stderr; a write failure must not kill the study
 	fmt.Fprintln(p.w, line)
 }

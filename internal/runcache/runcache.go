@@ -163,7 +163,7 @@ func (c *Cache) Get(hash string) ([]byte, bool) {
 		if err != nil {
 			// Corrupted or unreadable: drop the entry and recompute.
 			c.stats.DiskErrors++
-			os.Remove(c.path(hash))
+			_ = os.Remove(c.path(hash)) // best effort; a stale entry only costs a recompute
 		}
 	}
 	c.stats.Misses++
@@ -248,14 +248,14 @@ func (c *Cache) writeDisk(hash string, payload []byte) error {
 	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(name)
+		_ = os.Remove(name) // best effort; the write error below is the real failure
 		if werr == nil {
 			werr = cerr
 		}
 		return fmt.Errorf("runcache: writing %s: %w", hash, werr)
 	}
 	if err := os.Rename(name, c.path(hash)); err != nil {
-		os.Remove(name)
+		_ = os.Remove(name) // best effort; the rename error below is the real failure
 		return fmt.Errorf("runcache: committing %s: %w", hash, err)
 	}
 	return nil
