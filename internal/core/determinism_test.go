@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// serializedStudy runs the reduced-scale single-program study and returns
+// every byte the study can emit: the canonical golden artifacts followed
+// by the full JSON export. This is the output surface the determinism
+// analyzer (internal/analysis) guards — if map-iteration order, a wall
+// clock, or an unseeded random draw ever leaks into the export path, two
+// in-process runs stop being byte-identical.
+func serializedStudy(t *testing.T, workers int) []byte {
+	t.Helper()
+	opt := quickOptions()
+	opt.Seed = 7
+	opt.Workers = workers
+	s, err := RunSingleStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := s.Artifacts(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, a := range arts {
+		b, err := a.MarshalCanonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStudySerializationIsBitStable runs the same study twice — once
+// sequentially, once on a parallel driver — and demands byte-identical
+// golden JSON. TestStudiesWorkerInvariant already pins the in-memory
+// numbers; this pins the rendered artifacts, which is what the golden
+// regression gate actually diffs.
+func TestStudySerializationIsBitStable(t *testing.T) {
+	first := serializedStudy(t, 1)
+	second := serializedStudy(t, 4)
+	if !bytes.Equal(first, second) {
+		limit := 400
+		a, b := string(first), string(second)
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo := max(0, i-100)
+				t.Fatalf("study serialization diverged at byte %d:\nrun1: ...%.*s\nrun2: ...%.*s",
+					i, limit, a[lo:], limit, b[lo:])
+			}
+		}
+		t.Fatalf("study serializations differ in length: %d vs %d bytes", len(first), len(second))
+	}
+}
