@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench bench-cache check ci check-golden update-golden figures figures-cached lmbench ablations fmt vet clean
+.PHONY: build test test-short race bench bench-cache check ci check-golden update-golden figures figures-cached lmbench ablations fmt vet lint clean
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,15 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x
 
-# The full gate: build, vet, formatting, and the race-enabled test suite.
-check:
-	$(GO) build ./...
+# Static analysis: go vet plus the repo's own analyzers (cmd/xeonlint —
+# determinism, unit safety, dropped errors, lock misuse, counter/golden
+# parity). Depends on build so vet and xeonlint share one warm build cache.
+lint: build
 	$(GO) vet ./...
+	$(GO) run ./cmd/xeonlint ./...
+
+# The full gate: build, lint, formatting, and the race-enabled test suite.
+check: lint
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) test -race ./...
@@ -45,8 +50,7 @@ SRC_HASH := $(shell git ls-files -co --exclude-standard -- '*.go' go.mod | xargs
 # Mirrors .github/workflows/ci.yml step for step, so contributors can
 # reproduce a CI failure locally with a bare `make ci`.
 ci:
-	$(GO) build ./...
-	$(GO) vet ./...
+	$(MAKE) lint
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) test -race -short ./...
