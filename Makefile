@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench bench-cache check ci check-golden update-golden figures figures-cached lmbench ablations fmt vet lint clean
+.PHONY: build test test-short race bench bench-cache check ci check-golden update-golden figures figures-cached lmbench ablations fmt vet lint lint-fix lint-fix-clean clean
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,22 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x
 
 # Static analysis: go vet plus the repo's own analyzers (cmd/xeonlint —
-# determinism, unit safety, dropped errors, lock misuse, counter/golden
-# parity). Depends on build so vet and xeonlint share one warm build cache.
+# nondeterminism taint, dimension inference, unit safety, dropped errors,
+# lock misuse, counter/golden parity). Depends on build so vet and
+# xeonlint share one warm build cache.
 lint: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/xeonlint ./...
+
+# Apply every machine-applicable fix xeonlint proposes (magic-literal →
+# units.* rewrites, explicit `_ =` error drops), in place.
+lint-fix: build
+	$(GO) run ./cmd/xeonlint -fix ./...
+
+# Fail if xeonlint still has fixes pending — the CI guard that keeps the
+# tree converged under `make lint-fix`. Prints the unified diff.
+lint-fix-clean: build
+	$(GO) run ./cmd/xeonlint -diff ./...
 
 # The full gate: build, lint, formatting, and the race-enabled test suite.
 check: lint

@@ -3,14 +3,26 @@
 //
 // The golden-artifact gate (internal/golden) catches a drifted paper
 // metric only after the drift has happened; the analyzers here move the
-// invariants that gate depends on to compile time. Five analyzers guard
-// the promises the reproduction makes:
+// invariants that gate depends on to compile time. Since PR 4 the package
+// is a dataflow engine, not just per-file AST walks: a Program computes
+// shared Facts (function index, module-wide call graph, field-use
+// relation — see facts.go) that the interprocedural passes solve their
+// fixed points over. Six analyzers guard the promises the reproduction
+// makes:
 //
-//   - determinism: no wall clock, no unseeded math/rand, no map-iteration
-//     order leaking into ordered output in simulation/export packages
+//   - taint: no wall clock, no unseeded math/rand, no map-iteration
+//     order leaking into ordered output — plus interprocedural
+//     nondeterminism taint: a clock/rand/env value laundered through
+//     helpers or struct fields into a golden/report/journal/runcache
+//     serialization sink is reported at the sink
+//   - dimension: physical dimensions (cycles, ns, seconds, bytes, events)
+//     inferred from internal/units constants, counters metrics, and
+//     naming conventions, propagated through arithmetic; mixed-dimension
+//     addition and meaningless products are findings
 //   - unitsafety: no magic ns/Hz/byte conversion literals bypassing
-//     internal/units
-//   - errdrop: no silently dropped error returns (the forEachJob bug class)
+//     internal/units (with a -fix rewrite to the named constant)
+//   - errdrop: no silently dropped error returns (the forEachJob bug
+//     class; bare statement drops carry a -fix `_ =` rewrite)
 //   - lockcheck: no mutexes copied by value, no goroutine fan-out writing
 //     captured state unlocked
 //   - counterparity: every counters.Metrics column and counters.Event name
@@ -23,7 +35,9 @@
 //
 // on the offending line or the line directly above it. The reason is
 // mandatory, and an ignore that suppresses nothing is itself reported, so
-// suppressions cannot rot silently.
+// suppressions cannot rot silently. Findings may carry machine-applicable
+// fixes (fix.go); cmd/xeonlint applies them with -fix and previews them
+// with -diff.
 package analysis
 
 import (
@@ -36,11 +50,15 @@ import (
 )
 
 // Diagnostic is one finding: a position, the analyzer that produced it,
-// and a message. The driver renders it as "file:line:col: [analyzer] msg".
+// a message, and optionally a machine-applicable fix. The driver renders
+// it as "file:line:col: [analyzer] msg".
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fix, when non-nil, is a textual edit that resolves the finding;
+	// cmd/xeonlint applies it under -fix and previews it under -diff.
+	Fix *SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -67,6 +85,8 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
+
+	facts *Facts // built on first Facts() call, shared by every analyzer
 }
 
 // ByName returns the loaded packages with the given package name.
@@ -95,7 +115,8 @@ type Analyzer interface {
 // Analyzers returns every registered analyzer in reporting order.
 func Analyzers() []Analyzer {
 	return []Analyzer{
-		&Determinism{},
+		&NDTaint{},
+		&Dimension{},
 		&UnitSafety{},
 		&ErrDrop{},
 		&LockCheck{},
@@ -137,7 +158,7 @@ func parseIgnores(fset *token.FileSet, f *ast.File, known map[string]bool) ([]*i
 			fields := strings.Fields(rest)
 			if len(fields) < 2 {
 				diags = append(diags, Diagnostic{pos, "xeonlint",
-					"malformed ignore: want //xeonlint:ignore <analyzer>[,<analyzer>|all] <reason>"})
+					"malformed ignore: want //xeonlint:ignore <analyzer>[,<analyzer>|all] <reason>", nil})
 				continue
 			}
 			d := &ignoreDirective{pos: pos}
@@ -147,7 +168,7 @@ func parseIgnores(fset *token.FileSet, f *ast.File, known map[string]bool) ([]*i
 				for _, name := range strings.Split(fields[0], ",") {
 					if !known[name] {
 						diags = append(diags, Diagnostic{pos, "xeonlint",
-							fmt.Sprintf("ignore names unknown analyzer %q", name)})
+							fmt.Sprintf("ignore names unknown analyzer %q", name), nil})
 						bad = true
 						break
 					}
@@ -205,7 +226,7 @@ func (p *Program) Run(analyzers []Analyzer) []Diagnostic {
 		for _, ig := range dirs {
 			if !ig.used {
 				diags = append(diags, Diagnostic{ig.pos, "xeonlint",
-					"unused ignore directive suppresses nothing; delete it"})
+					"unused ignore directive suppresses nothing; delete it", nil})
 			}
 		}
 	}

@@ -105,8 +105,12 @@ func checkFixture(t *testing.T, name string, analyzers []analysis.Analyzer) {
 	}
 }
 
-func TestDeterminism(t *testing.T) {
-	checkFixture(t, "determinism", []analysis.Analyzer{&analysis.Determinism{}})
+func TestTaint(t *testing.T) {
+	checkFixture(t, "taint", []analysis.Analyzer{&analysis.NDTaint{}})
+}
+
+func TestDimension(t *testing.T) {
+	checkFixture(t, "dimension", []analysis.Analyzer{&analysis.Dimension{}})
 }
 
 func TestUnitSafety(t *testing.T) {
@@ -159,15 +163,15 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 }
 
-// TestAnalyzersRegistered pins the registry: five analyzers, stable unique
+// TestAnalyzersRegistered pins the registry: six analyzers, stable unique
 // names, non-empty docs — the contract -list and the ignore grammar rely
 // on.
 func TestAnalyzersRegistered(t *testing.T) {
 	as := analysis.Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("got %d analyzers, want 5", len(as))
+	if len(as) != 6 {
+		t.Fatalf("got %d analyzers, want 6", len(as))
 	}
-	want := []string{"determinism", "unitsafety", "errdrop", "lockcheck", "counterparity"}
+	want := []string{"taint", "dimension", "unitsafety", "errdrop", "lockcheck", "counterparity"}
 	for i, a := range as {
 		if a.Name() != want[i] {
 			t.Errorf("analyzer %d is %q, want %q", i, a.Name(), want[i])
@@ -175,5 +179,101 @@ func TestAnalyzersRegistered(t *testing.T) {
 		if a.Doc() == "" {
 			t.Errorf("analyzer %q has no doc", a.Name())
 		}
+	}
+}
+
+// copyFixture clones a fixture module into a temp dir so -fix can rewrite
+// it without touching the checked-in sources.
+func copyFixture(t *testing.T, name string) string {
+	t.Helper()
+	src := filepath.Join("testdata", "src", name)
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func runOn(t *testing.T, root string) (*analysis.Program, []analysis.Diagnostic) {
+	t.Helper()
+	prog, err := (&analysis.Loader{Root: root}).Load()
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	return prog, prog.Run(analysis.Analyzers())
+}
+
+// TestFixIdempotency pins the autofix contract on the fixable fixture:
+// every finding there carries a fix, applying the fixes leaves the module
+// lint-clean, and a second apply pass proposes no further edits.
+func TestFixIdempotency(t *testing.T) {
+	root := copyFixture(t, "fixable")
+
+	prog, diags := runOn(t, root)
+	if len(diags) == 0 {
+		t.Fatal("fixable fixture produced no findings")
+	}
+	for _, d := range diags {
+		if d.Fix == nil {
+			t.Errorf("finding without a fix in the fixable fixture: %s", d)
+		}
+	}
+
+	fixed, err := analysis.ApplyFixes(prog, diags, os.ReadFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) == 0 {
+		t.Fatal("ApplyFixes produced no file rewrites")
+	}
+	for name, content := range fixed {
+		if err := os.WriteFile(name, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	prog2, diags2 := runOn(t, root)
+	if len(diags2) != 0 {
+		t.Fatalf("findings remain after applying fixes: %v", diags2)
+	}
+	again, err := analysis.ApplyFixes(prog2, diags2, os.ReadFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second fix pass still proposes edits in %d file(s)", len(again))
+	}
+}
+
+// TestUnifiedDiff pins the diff renderer -diff is built on.
+func TestUnifiedDiff(t *testing.T) {
+	oldSrc := []byte("a\nb\nc\nd\ne\nf\ng\n")
+	newSrc := []byte("a\nb\nc\nX\ne\nf\ng\n")
+	d := analysis.UnifiedDiff("f.go", oldSrc, newSrc)
+	for _, wantLine := range []string{"--- f.go", "+++ f.go", "-d", "+X", "@@ -1,7 +1,7 @@"} {
+		if !strings.Contains(d, wantLine) {
+			t.Errorf("diff missing %q:\n%s", wantLine, d)
+		}
+	}
+	if analysis.UnifiedDiff("f.go", oldSrc, oldSrc) != "" {
+		t.Error("identical contents produced a non-empty diff")
 	}
 }

@@ -44,7 +44,7 @@ func (a *CounterParity) Check(prog *Program, pkg *Package) []Diagnostic {
 				continue
 			}
 			diags = append(diags, Diagnostic{prog.Fset.Position(fld.Pos()), a.Name(),
-				fmt.Sprintf("counters.Metrics field %s has no renderer/exporter use outside %s; the golden schema would silently lose this column", fld.Name(), pkg.Path)})
+				fmt.Sprintf("counters.Metrics field %s has no renderer/exporter use outside %s; the golden schema would silently lose this column", fld.Name(), pkg.Path), nil})
 		}
 	}
 
@@ -66,32 +66,18 @@ func (a *CounterParity) metricsStruct(pkg *Package) *types.Struct {
 }
 
 // fieldsUsedElsewhere collects the Metrics fields selected in any other
-// package of the program.
+// package of the program, straight off the engine's shared field-use
+// relation — no re-walk of the module.
 func (a *CounterParity) fieldsUsedElsewhere(prog *Program, counters *Package, metrics *types.Struct) map[*types.Var]bool {
-	fieldSet := map[*types.Var]bool{}
-	for i := 0; i < metrics.NumFields(); i++ {
-		fieldSet[metrics.Field(i)] = true
-	}
+	fieldUses := prog.Facts().FieldUses
 	used := map[*types.Var]bool{}
-	for _, other := range prog.Packages {
-		if other == counters {
-			continue
-		}
-		for _, f := range other.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				s, ok := other.Info.Selections[sel]
-				if !ok || s.Kind() != types.FieldVal {
-					return true
-				}
-				if fld, ok := s.Obj().(*types.Var); ok && fieldSet[fld] {
-					used[fld] = true
-				}
-				return true
-			})
+	for i := 0; i < metrics.NumFields(); i++ {
+		fld := metrics.Field(i)
+		for pkg := range fieldUses[fld] {
+			if pkg != counters {
+				used[fld] = true
+				break
+			}
 		}
 	}
 	return used
@@ -149,12 +135,12 @@ func (a *CounterParity) checkEventNames(prog *Program, pkg *Package) []Diagnosti
 	var diags []Diagnostic
 	if len(lit.Elts) != events {
 		diags = append(diags, Diagnostic{prog.Fset.Position(litPos.Pos()), a.Name(),
-			fmt.Sprintf("eventNames has %d entries for %d Event constants; a missing entry serializes as an empty column name", len(lit.Elts), events)})
+			fmt.Sprintf("eventNames has %d entries for %d Event constants; a missing entry serializes as an empty column name", len(lit.Elts), events), nil})
 	}
 	for _, elt := range lit.Elts {
 		if bl, ok := elt.(*ast.BasicLit); ok && bl.Value == `""` {
 			diags = append(diags, Diagnostic{prog.Fset.Position(bl.Pos()), a.Name(),
-				"empty event name would serialize as an empty golden-artifact column"})
+				"empty event name would serialize as an empty golden-artifact column", nil})
 		}
 	}
 	return diags

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is the autofix engine: analyzers attach SuggestedFix values
+// to their diagnostics, and cmd/xeonlint materializes them — applied in
+// place under -fix, rendered as a unified diff under -diff. Fixes are
+// plain byte-range edits against the loaded file contents, so applying
+// them needs no re-parse; overlapping fixes are resolved deterministically
+// (first by position wins) rather than producing corrupt output.
+
+// TextEdit replaces the source range [Pos, End) with NewText. Pos == End
+// is an insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is one machine-applicable resolution for a finding: a
+// human-readable description plus the edits that implement it. All edits
+// of one fix must land in the same file.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// fileEdit is a resolved edit: byte offsets within one file.
+type fileEdit struct {
+	start, end int
+	newText    string
+}
+
+// ApplyFixes collects the fixes attached to diags and returns the fixed
+// content of every affected file, keyed by filename. Edits within a file
+// are applied from the end backwards so earlier offsets stay valid;
+// overlapping edits are skipped deterministically (the edit starting
+// earlier wins, ties broken by end then replacement text). The input
+// files are read through prog's FileSet, so the bytes being edited are
+// exactly the bytes that were analyzed.
+func ApplyFixes(prog *Program, diags []Diagnostic, readFile func(string) ([]byte, error)) (map[string][]byte, error) {
+	perFile := map[string][]fileEdit{}
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			posn := prog.Fset.Position(e.Pos)
+			endn := prog.Fset.Position(e.End)
+			if posn.Filename == "" || posn.Filename != endn.Filename || posn.Offset > endn.Offset {
+				return nil, fmt.Errorf("invalid fix %q at %s", d.Fix.Message, posn)
+			}
+			perFile[posn.Filename] = append(perFile[posn.Filename], fileEdit{posn.Offset, endn.Offset, e.NewText})
+		}
+	}
+
+	out := map[string][]byte{}
+	for filename, edits := range perFile {
+		src, err := readFile(filename)
+		if err != nil {
+			return nil, fmt.Errorf("apply fixes: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool {
+			a, b := edits[i], edits[j]
+			if a.start != b.start {
+				return a.start < b.start
+			}
+			if a.end != b.end {
+				return a.end < b.end
+			}
+			return a.newText < b.newText
+		})
+		// Drop exact duplicates (two findings proposing the same edit,
+		// e.g. one missing-import insertion per literal) and overlaps
+		// (the edit sorting first wins).
+		kept := edits[:0]
+		lastEnd := 0
+		for _, e := range edits {
+			if len(kept) > 0 {
+				p := kept[len(kept)-1]
+				if p.start == e.start && p.end == e.end && p.newText == e.newText {
+					continue
+				}
+			}
+			if e.start < lastEnd {
+				continue
+			}
+			if e.end > len(src) {
+				return nil, fmt.Errorf("fix range beyond EOF in %s", filename)
+			}
+			kept = append(kept, e)
+			if e.end > lastEnd {
+				lastEnd = e.end
+			}
+		}
+		// Apply back-to-front.
+		fixed := append([]byte(nil), src...)
+		for i := len(kept) - 1; i >= 0; i-- {
+			e := kept[i]
+			fixed = append(fixed[:e.start], append([]byte(e.newText), fixed[e.end:]...)...)
+		}
+		out[filename] = fixed
+	}
+	return out, nil
+}
+
+// UnifiedDiff renders a unified diff between old and new content of one
+// file, with the conventional ---/+++ header and @@ hunks (3 lines of
+// context). Returns "" when the contents are identical.
+func UnifiedDiff(filename string, oldSrc, newSrc []byte) string {
+	if string(oldSrc) == string(newSrc) {
+		return ""
+	}
+	ops := diffLines(splitLines(string(oldSrc)), splitLines(string(newSrc)))
+
+	// Keep every changed op plus ctx lines of context around it; the kept
+	// runs are the hunks.
+	const ctx = 3
+	keep := make([]bool, len(ops))
+	for i, op := range ops {
+		if op.kind == ' ' {
+			continue
+		}
+		lo, hi := i-ctx, i+ctx
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(ops) {
+			hi = len(ops) - 1
+		}
+		for j := lo; j <= hi; j++ {
+			keep[j] = true
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", filename, filename)
+	for i := 0; i < len(ops); {
+		if !keep[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(ops) && keep[j] {
+			j++
+		}
+		aStart, bStart := ops[i].aLine, ops[i].bLine
+		aCount, bCount := 0, 0
+		for _, op := range ops[i:j] {
+			if op.kind != '+' {
+				aCount++
+			}
+			if op.kind != '-' {
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		for _, op := range ops[i:j] {
+			sb.WriteByte(byte(op.kind))
+			sb.WriteString(op.text)
+			sb.WriteByte('\n')
+		}
+		i = j
+	}
+	return sb.String()
+}
+
+type diffOp struct {
+	kind         rune // ' ', '-', '+'
+	text         string
+	aLine, bLine int // 0-based line numbers in old/new at this op
+}
+
+// splitLines splits content into lines without trailing newlines; a
+// trailing newline does not produce an empty final line.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}
+
+// diffLines computes a line-level diff via the classic LCS dynamic
+// program — fine for source files of this size.
+func diffLines(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{' ', a[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{'-', a[i], i, j})
+			i++
+		default:
+			ops = append(ops, diffOp{'+', b[j], i, j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{'-', a[i], i, j})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{'+', b[j], i, j})
+	}
+	return ops
+}

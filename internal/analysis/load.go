@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -89,8 +90,11 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
 }
 
-// packageDirs lists every directory under Root holding non-test Go files,
-// skipping hidden directories and testdata trees.
+// packageDirs lists every directory under Root holding Go files the
+// loader would actually include, skipping hidden directories and testdata
+// trees. Discovery and loading share includeFile, so a directory is
+// listed if and only if loadLocal would find files in it — the two stages
+// cannot disagree about build tags or _test.go files.
 func (l *Loader) packageDirs() ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
@@ -109,7 +113,7 @@ func (l *Loader) packageDirs() ([]string, error) {
 			return err
 		}
 		for _, e := range ents {
-			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			if !e.IsDir() && l.includeFile(path, e.Name()) {
 				dirs = append(dirs, path)
 				break
 			}
@@ -117,6 +121,116 @@ func (l *Loader) packageDirs() ([]string, error) {
 		return nil
 	})
 	return dirs, err
+}
+
+// The lint target platform is pinned so an analyzer run on a developer
+// laptop and the CI lint job see byte-identical file sets: build
+// constraints are evaluated as linux/amd64 regardless of the host.
+const (
+	targetGOOS   = "linux"
+	targetGOARCH = "amd64"
+)
+
+// includeFile is the single file-selection predicate shared by discovery
+// and loading: .go files, minus editor/backup artifacts, minus _test.go
+// when tests are excluded, minus files ruled out by a GOOS/GOARCH
+// filename suffix or a //go:build / +build constraint.
+func (l *Loader) includeFile(dir, name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return false
+	}
+	if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	if !fileSuffixOK(name) {
+		return false
+	}
+	src, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return false
+	}
+	return buildTagsOK(src)
+}
+
+// knownOS and knownArch recognize the implicit filename constraints
+// (foo_windows.go, foo_arm64.go, foo_windows_arm64.go).
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// fileSuffixOK applies the go/build filename-suffix rules against the
+// pinned target platform.
+func fileSuffixOK(name string) bool {
+	name = strings.TrimSuffix(name, ".go")
+	name = strings.TrimSuffix(name, "_test")
+	parts := strings.Split(name, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != targetGOARCH {
+			return false
+		}
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == targetGOOS
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == targetGOOS
+	}
+	return true
+}
+
+// buildTagsOK evaluates the build constraints in a file header against
+// the pinned target platform. A //go:build line takes precedence over
+// legacy +build lines, matching the go tool.
+func buildTagsOK(src []byte) bool {
+	tagOK := func(tag string) bool {
+		switch tag {
+		case targetGOOS, targetGOARCH, "gc", "unix":
+			return true
+		}
+		// Release tags: the toolchain building this module satisfies the
+		// module's own go directive, so accept any go1.x.
+		return strings.HasPrefix(tag, "go1.")
+	}
+	var plusLines []constraint.Expr
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		switch {
+		case constraint.IsGoBuild(trimmed):
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return false
+			}
+			return expr.Eval(tagOK)
+		case constraint.IsPlusBuild(trimmed):
+			if expr, err := constraint.Parse(trimmed); err == nil {
+				plusLines = append(plusLines, expr)
+			}
+		}
+	}
+	for _, expr := range plusLines {
+		if !expr.Eval(tagOK) {
+			return false
+		}
+	}
+	return true
 }
 
 // importPath maps a directory under Root to its import path.
@@ -154,6 +268,9 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 		if err != nil {
 			return nil, err
 		}
+		if p == nil {
+			return nil, fmt.Errorf("analysis: no buildable Go files in %s", path)
+		}
 		return p.Types, nil
 	}
 	return l.std.ImportFrom(path, dir, mode)
@@ -178,10 +295,7 @@ func (l *Loader) loadLocal(path string) (*Package, error) {
 	var files []*ast.File
 	var names []string
 	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		if !l.IncludeTests && strings.HasSuffix(e.Name(), "_test.go") {
+		if e.IsDir() || !l.includeFile(dir, e.Name()) {
 			continue
 		}
 		names = append(names, e.Name())
@@ -206,7 +320,11 @@ func (l *Loader) loadLocal(path string) (*Package, error) {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+		// Every file was excluded (a dir holding only external-test
+		// packages, or only files for other platforms): not an error,
+		// just nothing to analyze. Memoize the miss.
+		l.pkgs[path] = nil
+		return nil, nil
 	}
 
 	info := &types.Info{

@@ -26,7 +26,7 @@ func (*LockCheck) Doc() string {
 func (a *LockCheck) Check(prog *Program, pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	report := func(n ast.Node, format string, args ...any) {
-		diags = append(diags, Diagnostic{prog.Fset.Position(n.Pos()), a.Name(), fmt.Sprintf(format, args...)})
+		diags = append(diags, Diagnostic{prog.Fset.Position(n.Pos()), a.Name(), fmt.Sprintf(format, args...), nil})
 	}
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

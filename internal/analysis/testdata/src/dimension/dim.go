@@ -1,0 +1,61 @@
+// Package dim seeds dimension-inference violations and clean
+// counterparts: mixed additions, meaningless products, cross-base
+// quotients, and declared-dimension mismatches.
+package dim
+
+import (
+	"dim/internal/counters"
+	"dim/internal/units"
+)
+
+// Nanoseconds and cycles must not add without a conversion.
+func mixed(latencyNs, busCycles float64) float64 {
+	return latencyNs + busCycles // want `mixed-dimension addition: ns + cycles`
+}
+
+// A squared duration has no physical meaning in this model.
+func square(elapsedNs, waitNs float64) float64 {
+	return elapsedNs * waitNs // want `suspicious product`
+}
+
+// Assigning raw cycles into an ns-named variable skips the frequency
+// conversion; the fixed version goes through units.Frequency.
+func convertAssign(f units.Frequency, busCycles int64) float64 {
+	var latencyNs float64
+	latencyNs = float64(busCycles) // want `assigning cycles expression to "latencyNs"`
+	latencyNs = f.Nanoseconds(busCycles)
+	return latencyNs
+}
+
+// cycles/ns is a frequency in disguise and must go through units.
+func hiddenFreq(busCycles, elapsedNs float64) float64 {
+	return busCycles / elapsedNs // want `quotient cycles / ns mixes clock and wall time`
+}
+
+// Metrics fields carry their documented dimensions: CPI is cycles/event.
+func fill(m *counters.Metrics, s *counters.Set) {
+	m.CPI = s.Get(counters.CPUCycles) // want `assigning cycles expression to field "CPI"`
+	m.L1MissRate = s.Get(counters.L1Misses) / s.Get(counters.Instructions)
+	m.CPI = s.Get(counters.CPUCycles) / s.Get(counters.Instructions)
+}
+
+// Counter families have dimensions too: cycle counts and byte counts
+// cannot add.
+func mixedCounts(s *counters.Set) float64 {
+	return s.Get(counters.CPUCycles) + s.Get(counters.MemReadBytes) // want `mixed-dimension addition: cycles + bytes`
+}
+
+// Negative: the canonical clean derivation — cycles through
+// units.Frequency to ns, ns to seconds through NsPerSecond, bytes over
+// seconds to bandwidth.
+func bandwidth(f units.Frequency, lines int64, lineBytes float64) float64 {
+	elapsedNs := f.Nanoseconds(lines)
+	seconds := elapsedNs / units.NsPerSecond
+	totalBytes := float64(lines) * lineBytes
+	return totalBytes / seconds
+}
+
+// Negative: scalars adapt — literals rescale without changing dimension.
+func scaled(latencyNs float64) float64 {
+	return latencyNs*2 + 1
+}

@@ -1,0 +1,3 @@
+module dim
+
+go 1.22

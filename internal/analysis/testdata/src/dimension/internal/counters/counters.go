@@ -1,0 +1,32 @@
+// Package counters mirrors the real event-counter layer: Set.Get
+// dimensions follow the event name, Metrics fields their documented
+// meanings.
+package counters
+
+// Event identifies one hardware counter.
+type Event int
+
+// The counted events: cycles, instructions, and byte traffic.
+const (
+	CPUCycles Event = iota
+	Instructions
+	L1Misses
+	MemReadBytes
+)
+
+// Set is a bag of event totals.
+type Set struct {
+	counts [4]float64
+}
+
+// Get returns the total of one event.
+func (s *Set) Get(e Event) float64 {
+	return s.counts[e]
+}
+
+// Metrics are the derived per-benchmark columns.
+type Metrics struct {
+	CPI        float64
+	L1MissRate float64
+	DTLBMisses float64
+}

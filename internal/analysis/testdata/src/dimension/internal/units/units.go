@@ -1,0 +1,42 @@
+// Package units mirrors the real conversion layer: the constants and
+// Frequency methods seed the dimension analyzer's ground truth.
+package units
+
+// Hz multiples.
+const (
+	KHz float64 = 1e3
+	MHz float64 = 1e6
+	GHz float64 = 1e9
+)
+
+// Byte sizes.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+)
+
+// GB scales GB/s bandwidth figures into bytes/s.
+const GB float64 = 1e9
+
+// NsPerSecond converts between seconds and nanoseconds.
+const NsPerSecond float64 = 1e9
+
+// Frequency is a clock rate in Hz.
+type Frequency float64
+
+// Nanoseconds converts a cycle count at f into nanoseconds.
+func (f Frequency) Nanoseconds(cycles int64) float64 {
+	return float64(cycles) / float64(f) * 1e9
+}
+
+// Cycles converts a duration in nanoseconds to whole clock cycles at f.
+func (f Frequency) Cycles(ns float64) int64 {
+	return int64(ns * float64(f) / 1e9)
+}
+
+// BytesPerCycle converts a bandwidth in bytes/second into bytes per core
+// cycle at f.
+func (f Frequency) BytesPerCycle(bytesPerSecond float64) float64 {
+	return bytesPerSecond / float64(f)
+}

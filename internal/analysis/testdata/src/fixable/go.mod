@@ -1,0 +1,3 @@
+module fixable
+
+go 1.22

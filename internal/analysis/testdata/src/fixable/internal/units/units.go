@@ -1,0 +1,19 @@
+// Package units names the conversion factors the autofix rewrites
+// magic literals into.
+package units
+
+// Hz multiples.
+const (
+	KHz float64 = 1e3
+	MHz float64 = 1e6
+	GHz float64 = 1e9
+)
+
+// GB scales GB/s bandwidth figures into bytes/s.
+const GB float64 = 1e9
+
+// Mega is the bare 10^6 scale factor.
+const Mega float64 = 1e6
+
+// NsPerSecond converts between seconds and nanoseconds.
+const NsPerSecond float64 = 1e9

@@ -1,0 +1,36 @@
+// Package fixable seeds findings every one of which carries a suggested
+// fix, so applying them all leaves a lint-clean tree — the -fix
+// idempotency contract.
+package fixable
+
+import (
+	"os"
+
+	"fixable/internal/units"
+)
+
+// clockCycles converts with a magic 1e9 next to a frequency-named
+// operand: the fix rewrites it to units.GHz.
+func clockCycles(clockGHz, seconds float64) float64 {
+	return clockGHz * 1e9 * seconds
+}
+
+// mops scales by a magic million: the fix rewrites it to units.Mega.
+func mops(ops float64) float64 {
+	return ops / 1000000
+}
+
+// delay has a non-unit mantissa: the fix parenthesizes the product,
+// (2.8 * units.NsPerSecond).
+func delay(timer float64) float64 {
+	return timer * 2.8e9
+}
+
+// keep the units import referenced even before fixes introduce more uses.
+var _ = units.GHz
+
+// save drops its error as a bare statement: the fix inserts `_ =` and a
+// review marker.
+func save(path string) {
+	os.Remove(path)
+}

@@ -1,0 +1,7 @@
+// A file with no imports at all: the literal fix must also create the
+// units import block.
+package fixable
+
+func throughput(bytesMoved, clockGHz float64) float64 {
+	return clockGHz * 1e9 * bytesMoved
+}

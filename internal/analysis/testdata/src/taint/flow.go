@@ -1,0 +1,86 @@
+// Interprocedural cases: nondeterminism laundered through helpers,
+// struct fields, and package boundaries must be caught at the sink.
+package taint
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"taint/internal/golden"
+	"taint/internal/journal"
+	"taint/pipe"
+)
+
+// elapsedNs reads the clock behind a helper; the local blanket check
+// fires here, and the flow is tracked onward.
+func elapsedNs() float64 {
+	return float64(time.Now().UnixNano()) // want `time.Now reads the wall clock`
+}
+
+type run struct {
+	elapsed float64
+}
+
+// record launders the clock read through a struct field.
+func record() run {
+	return run{elapsed: elapsedNs()}
+}
+
+// exportRun is caught at the sink: two helpers and a field away from the
+// time.Now call.
+func exportRun(a *golden.Artifact) {
+	r := record()
+	a.Add("elapsed_ns", r.elapsed) // want `wall-clock-tainted value reaches golden.Artifact.Add`
+}
+
+// label is an environment read — legal on its own (no blanket check)...
+func label() string {
+	return os.Getenv("XEON_LABEL")
+}
+
+// ...until the value reaches an exporter.
+func exportLabel(a *golden.Artifact) {
+	a.Add(label(), 1) // want `environment-tainted value reaches golden.Artifact.Add`
+}
+
+// put forwards its argument to a sink; callers passing tainted values are
+// reported even though put itself is clean.
+func put(a *golden.Artifact, name string, v float64) {
+	a.AddUnit(name, v, "ns")
+}
+
+func exportDraw(a *golden.Artifact) {
+	put(a, "draw", rand.Float64()) // want `rand.Float64 draws from the global math/rand source` // want `unseeded-rand-tainted argument to taint.put reaches a serialization sink inside it`
+}
+
+// journal.Stamp may read the clock (allowlisted package), but the value
+// escaping into an artifact is still a finding — at the sink, not in the
+// journal.
+func exportStamp(a *golden.Artifact) {
+	t := journal.Stamp()
+	a.Add("stamp_ns", float64(t.UnixNano())) // want `wall-clock-tainted value reaches golden.Artifact.Add`
+}
+
+// exportHost crosses a package boundary: the env read sits two calls and
+// a struct field away, in package pipe.
+func exportHost(a *golden.Artifact) {
+	a.Add(pipe.Describe().Host, 0) // want `environment-tainted value reaches golden.Artifact.Add`
+}
+
+// Negative: an explicitly seeded generator is deterministic.
+func seededDraw(a *golden.Artifact) {
+	r := rand.New(rand.NewSource(42))
+	a.Add("seeded", r.Float64())
+}
+
+// Negative: values derived from constants flow freely.
+func deterministic(a *golden.Artifact) {
+	a.Add("pi", 3.14159)
+}
+
+// Negative: an environment read that never reaches a sink is harness
+// tuning, not nondeterministic data.
+func verbose() bool {
+	return os.Getenv("XEON_VERBOSE") == "1"
+}

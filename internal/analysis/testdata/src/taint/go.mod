@@ -1,0 +1,3 @@
+module taint
+
+go 1.22

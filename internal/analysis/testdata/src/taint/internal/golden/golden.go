@@ -1,0 +1,20 @@
+// Package golden mimics the real golden-artifact exporter: every exported
+// method is a serialization sink for the taint analyzer.
+package golden
+
+// Artifact accumulates named metric values for serialization.
+type Artifact struct {
+	names  []string
+	values []float64
+}
+
+// Add records one metric value.
+func (a *Artifact) Add(name string, v float64) {
+	a.names = append(a.names, name)
+	a.values = append(a.values, v)
+}
+
+// AddUnit records one metric value with a unit label.
+func (a *Artifact) AddUnit(name string, v float64, unit string) {
+	a.Add(name+"_"+unit, v)
+}

@@ -1,5 +1,6 @@
-// Package det seeds determinism violations and legal counterparts.
-package det
+// Package taint seeds local determinism violations and legal counterparts;
+// flow.go adds the interprocedural cases.
+package taint
 
 import (
 	"fmt"
@@ -8,8 +9,8 @@ import (
 	"strings"
 	"time"
 
-	"det/internal/report"
-	"det/tally"
+	"taint/internal/report"
+	"taint/tally"
 )
 
 var clock = time.Now // want `time.Now reads the wall clock`

@@ -1,0 +1,22 @@
+// Package pipe launders an environment read across a package boundary:
+// the taint must survive the helper call, the struct field, and the
+// import edge to be caught at the sink in the root package.
+package pipe
+
+import "os"
+
+// Node reads the host name from the environment.
+func Node() string {
+	return os.Getenv("XEON_NODE")
+}
+
+// Meta describes where a run happened.
+type Meta struct {
+	Host string
+	Tag  string
+}
+
+// Describe builds run metadata; Host carries the environment read.
+func Describe() Meta {
+	return Meta{Host: Node(), Tag: "fixed"}
+}
