@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench bench-cache check ci check-golden update-golden figures figures-cached lmbench ablations fmt vet lint lint-fix lint-fix-clean clean
+.PHONY: build test test-short race bench bench-cache check ci check-golden update-golden figures figures-cached lmbench ablations profile fmt vet lint lint-fix lint-fix-clean clean
 
 build:
 	$(GO) build ./...
@@ -68,10 +68,13 @@ ci:
 	$(MAKE) check-golden
 
 # The paper-fidelity gate alone: rerun every study at the golden scale and
-# diff against the checked-in artifacts with their tolerance bands.
+# diff against the checked-in artifacts with their tolerance bands. The
+# metrics snapshot (cache hit rates, cell latencies, worker utilization)
+# lands in golden-metrics.json; CI uploads it as a build artifact.
 check-golden:
 	$(GO) run ./cmd/xeonchar -check testdata/golden -scale $(GOLDEN_SCALE) \
-		-cache-dir .xeonchar-cache/$(SRC_HASH) -progress 30s
+		-cache-dir .xeonchar-cache/$(SRC_HASH) -progress 30s \
+		-metrics-out golden-metrics.json
 
 # Regenerate testdata/golden after an *intentional* metric change; commit
 # the diff so review sees exactly which paper numbers moved.
@@ -90,6 +93,14 @@ figures:
 
 figures-cached:
 	$(GO) run ./cmd/xeonchar -all -scale 1.0 -cache-dir .xeonchar-cache -journal .xeonchar-cache/run.jsonl -resume
+
+# One observed full pass at reduced scale: CPU profile with per-cell
+# pprof labels (slice with `go tool pprof -tagfocus benchmark=CG
+# cpu.pprof`), a Chrome trace of study/cell spans (load trace.json in
+# chrome://tracing or Perfetto), and the metric registry snapshot.
+profile:
+	$(GO) run ./cmd/xeonchar -all -scale 0.1 \
+		-cpuprofile cpu.pprof -trace-out trace.json -metrics-out metrics.json
 
 lmbench:
 	$(GO) run ./cmd/lmbench

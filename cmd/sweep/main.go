@@ -13,12 +13,18 @@
 // Ablations share every unablated baseline, so a run cache pays off even
 // within one invocation; the same -cache-dir as cmd/xeonchar can be
 // shared, and -journal/-resume make an interrupted sweep restartable.
+// -trace-out and -metrics-out capture the same observability outputs as
+// cmd/xeonchar; Ctrl-C cancels between cells with a clean journal tail.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"xeonomp/internal/cache"
@@ -26,6 +32,7 @@ import (
 	"xeonomp/internal/core"
 	"xeonomp/internal/journal"
 	"xeonomp/internal/machine"
+	"xeonomp/internal/obs"
 	"xeonomp/internal/profiles"
 	"xeonomp/internal/report"
 	"xeonomp/internal/runcache"
@@ -89,6 +96,16 @@ func ablations() []ablation {
 }
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program behind main; closing the journal and writing
+// the trace/metrics files are defers here, so the error path and Ctrl-C
+// cancellation leave complete files behind.
+func run() (err error) {
 	var (
 		which = flag.String("ablation", "all", "prefetch, bus, l2, l2-random, smt, policy, symbiosis or all")
 		scale = flag.Float64("scale", 0.5, "instruction-budget scale factor")
@@ -98,52 +115,80 @@ func main() {
 		jpath     = flag.String("journal", "", "append every completed cell to this JSONL run journal")
 		resume    = flag.Bool("resume", false, "replay the -journal file before running, skipping already-completed cells")
 		progIvl   = flag.Duration("progress", 10*time.Second, "progress-report interval on stderr (0 disables)")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of study/cell spans to this file (chrome://tracing, Perfetto)")
+		metricsOut = flag.String("metrics-out", "", "write a JSON snapshot of the obs metric registry to this file on exit")
 	)
 	flag.Parse()
 
-	base := core.DefaultOptions()
-	base.Scale = *scale
-
-	if *cacheSize >= 0 {
-		c, err := runcache.New(*cacheSize, *cacheDir)
-		if err != nil {
-			fail(err)
-		}
-		base.Cache = c
-	}
 	if *resume && *jpath == "" {
 		fmt.Fprintln(os.Stderr, "sweep: -resume requires -journal")
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *traceOut != "" {
+		obs.SetTracer(obs.NewTracer())
+		defer func() {
+			if werr := writeObsFile(*traceOut, obs.CurrentTracer().WriteTrace); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if werr := writeObsFile(*metricsOut, obs.Default.WriteJSON); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+
+	optFns := []core.Option{core.WithScale(*scale)}
+	var rc *runcache.Cache
+	if *cacheSize >= 0 {
+		c, cerr := runcache.New(*cacheSize, *cacheDir)
+		if cerr != nil {
+			return cerr
+		}
+		rc = c
+		optFns = append(optFns, core.WithCache(rc))
+	}
 	if *jpath != "" {
 		if !*resume {
 			if err := os.Remove(*jpath); err != nil && !os.IsNotExist(err) {
-				fail(err)
+				return err
 			}
 		}
-		jn, err := journal.Open(*jpath)
-		if err != nil {
-			fail(err)
+		jn, jerr := journal.Open(*jpath)
+		if jerr != nil {
+			return jerr
 		}
 		defer func() {
-			if err := jn.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "sweep: closing journal:", err)
+			if cerr := jn.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "sweep: closing journal:", cerr)
 			}
 		}()
 		if *resume {
 			fmt.Fprintf(os.Stderr, "resuming: %d completed cells replayed from %s\n", jn.Len(), *jpath)
 		}
-		base.Journal = jn
+		optFns = append(optFns, core.WithJournal(jn))
 	}
 	if *progIvl > 0 {
-		base.Progress = journal.NewProgress(os.Stderr, *progIvl)
+		prog := journal.NewProgress(os.Stderr, *progIvl)
+		optFns = append(optFns, core.WithProgress(prog))
 		defer func() {
-			base.Progress.Finish()
-			if s := base.Cache.Stats(); s.Hits()+s.Misses > 0 {
+			prog.Finish()
+			if s := rc.Stats(); s.Hits()+s.Misses > 0 {
 				fmt.Fprintf(os.Stderr, "run cache: %d mem hits, %d disk hits, %d misses (%.1f%% hit rate)\n",
 					s.MemHits, s.DiskHits, s.Misses, 100*s.HitRate())
 			}
 		}()
+	}
+	base, err := core.NewOptions(optFns...)
+	if err != nil {
+		return err
 	}
 
 	benches := []string{"CG", "MG", "LU"}
@@ -154,26 +199,40 @@ func main() {
 			continue
 		}
 		if ab.policy != nil {
-			var err error
 			if *ab.policy == sched.Symbiotic {
-				err = runSymbiosisAblation(ab, base)
+				err = runSymbiosisAblation(ctx, ab, base)
 			} else {
-				err = runPairAblation(ab, base)
+				err = runPairAblation(ctx, ab, base)
 			}
 			if err != nil {
-				fail(err)
+				return err
 			}
 			continue
 		}
-		if err := runSingleAblation(ab, base, benches, cfgs); err != nil {
-			fail(err)
+		if err := runSingleAblation(ctx, ab, base, benches, cfgs); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// writeObsFile creates path and streams one observability dump into it.
+func writeObsFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // runSingleAblation compares per-benchmark speedups with and without the
 // machine mutation.
-func runSingleAblation(ab ablation, base core.Options, benches []string, archs []config.Arch) error {
+func runSingleAblation(ctx context.Context, ab ablation, base core.Options, benches []string, archs []config.Arch) error {
 	varCfg := machine.PaxvilleSMP()
 	ab.mutate(&varCfg)
 	variant := base
@@ -197,11 +256,11 @@ func runSingleAblation(ab ablation, base core.Options, benches []string, archs [
 				return err
 			}
 			for _, opt := range []core.Options{base, variant} {
-				serial, err := core.SerialBaseline(prof, opt)
+				serial, err := core.SerialBaselineContext(ctx, prof, opt)
 				if err != nil {
 					return err
 				}
-				res, err := core.RunSingle(prof, cfg, opt)
+				res, err := core.RunSingleContext(ctx, prof, cfg, opt)
 				if err != nil {
 					return err
 				}
@@ -216,7 +275,7 @@ func runSingleAblation(ab ablation, base core.Options, benches []string, archs [
 
 // runPairAblation compares the CG/FT pair under alternating vs block
 // placement.
-func runPairAblation(ab ablation, base core.Options) error {
+func runPairAblation(ctx context.Context, ab ablation, base core.Options) error {
 	cg, err := profiles.ByName("CG")
 	if err != nil {
 		return err
@@ -234,7 +293,7 @@ func runPairAblation(ab ablation, base core.Options) error {
 		"config", "program", "alternate speedup", "block speedup")
 	baselines := map[string]int64{}
 	for _, p := range w.Programs {
-		b, err := core.SerialBaseline(p, base)
+		b, err := core.SerialBaselineContext(ctx, p, base)
 		if err != nil {
 			return err
 		}
@@ -245,11 +304,11 @@ func runPairAblation(ab ablation, base core.Options) error {
 		if err != nil {
 			return err
 		}
-		alt, err := core.Run(w, cfg, base)
+		alt, err := core.RunContext(ctx, w, cfg, base)
 		if err != nil {
 			return err
 		}
-		blk, err := core.Run(w, cfg, blockOpt)
+		blk, err := core.RunContext(ctx, w, cfg, blockOpt)
 		if err != nil {
 			return err
 		}
@@ -263,15 +322,10 @@ func runPairAblation(ab ablation, base core.Options) error {
 	return nil
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
-}
-
 // runSymbiosisAblation compares alternate vs symbiotic placement for a
 // four-program mix (two memory-heavy, two compute-light) on the full HT
 // machine — the paper's future-work scheduler direction.
-func runSymbiosisAblation(ab ablation, base core.Options) error {
+func runSymbiosisAblation(ctx context.Context, ab ablation, base core.Options) error {
 	var w core.Workload
 	for _, n := range []string{"MG", "EP", "SP", "EP"} {
 		p, err := profiles.ByName(n)
@@ -289,16 +343,16 @@ func runSymbiosisAblation(ab ablation, base core.Options) error {
 
 	t := report.NewTable(fmt.Sprintf("Ablation %q — %s", ab.name, ab.detail),
 		"program", "alternate speedup", "symbiotic speedup")
-	alt, err := core.Run(w, cfg, base)
+	alt, err := core.RunContext(ctx, w, cfg, base)
 	if err != nil {
 		return err
 	}
-	sym, err := core.Run(w, cfg, symOpt)
+	sym, err := core.RunContext(ctx, w, cfg, symOpt)
 	if err != nil {
 		return err
 	}
 	for gi, p := range w.Programs {
-		serial, err := core.SerialBaseline(p, base)
+		serial, err := core.SerialBaselineContext(ctx, p, base)
 		if err != nil {
 			return err
 		}

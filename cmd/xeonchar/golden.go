@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -24,7 +25,7 @@ const maxDriftLines = 25
 // LMbench calibration plus the single-program, fixed-pair and
 // cross-product studies — and returns their artifacts. Caching and
 // progress flow through opt exactly as for figure regeneration.
-func collectArtifacts(opt core.Options) ([]*golden.Artifact, error) {
+func collectArtifacts(ctx context.Context, opt core.Options) ([]*golden.Artifact, error) {
 	m, err := machine.New(machine.PaxvilleSMP())
 	if err != nil {
 		return nil, err
@@ -41,23 +42,20 @@ func collectArtifacts(opt core.Options) ([]*golden.Artifact, error) {
 		r.Artifact(lmbench.PaperGoldenName, golden.Relative(0.05)),
 	}
 
-	fmt.Fprintf(os.Stderr, "running single-program study (6 benchmarks x 8 configurations, scale %.2f)...\n", opt.Scale)
-	single, err := core.RunSingleStudy(opt)
-	if err != nil {
-		return nil, err
+	studies := []struct {
+		banner string
+		study  core.Study
+	}{
+		{fmt.Sprintf("running single-program study (6 benchmarks x 8 configurations, scale %.2f)...", opt.Scale), core.NewSingleStudy()},
+		{"running multi-program study (3 workloads x 8 configurations)...", core.NewPairStudy()},
+		{"running cross-product study (21 pairs x 7 configurations)...", core.NewCrossStudy()},
 	}
-	fmt.Fprintf(os.Stderr, "running multi-program study (3 workloads x 8 configurations)...\n")
-	pair, err := core.RunPairStudy(opt)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(os.Stderr, "running cross-product study (21 pairs x 7 configurations)...\n")
-	cross, err := core.RunCrossStudy(opt)
-	if err != nil {
-		return nil, err
-	}
-	for _, ex := range []core.Exporter{single, pair, cross} {
-		as, err := ex.Artifacts(opt)
+	for _, st := range studies {
+		fmt.Fprintln(os.Stderr, st.banner)
+		if err := st.study.Run(ctx, opt); err != nil {
+			return nil, err
+		}
+		as, err := st.study.Artifacts()
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +71,7 @@ func pinnedArtifacts() []*golden.Artifact {
 }
 
 // runGolden is the -export-json / -check / -update-golden entry point.
-func runGolden(opt core.Options, exportDir, checkDir string, update bool) error {
+func runGolden(ctx context.Context, opt core.Options, exportDir, checkDir string, update bool) error {
 	var stored []*golden.Artifact
 	if checkDir != "" {
 		// Load and provenance-check the golden set before spending study
@@ -95,7 +93,7 @@ func runGolden(opt core.Options, exportDir, checkDir string, update bool) error 
 			}
 		}
 	}
-	live, err := collectArtifacts(opt)
+	live, err := collectArtifacts(ctx, opt)
 	if err != nil {
 		return err
 	}

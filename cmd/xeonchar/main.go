@@ -10,12 +10,18 @@
 //	xeonchar -scale 0.25 -fig 2   # quicker, smaller instruction budgets
 //	xeonchar -csv -fig 3          # CSV instead of aligned text
 //
-// Long regenerations are cacheable and resumable:
+// Long regenerations are cacheable, resumable, and observable:
 //
 //	xeonchar -all -cache-dir .xeonchar-cache   # warm second run is mostly lookups
 //	xeonchar -all -journal run.jsonl           # record every completed cell
 //	xeonchar -all -journal run.jsonl -resume   # pick up an interrupted run
 //	xeonchar -all -progress 5s                 # progress/ETA lines on stderr
+//	xeonchar -all -trace-out trace.json        # Chrome trace (chrome://tracing, Perfetto)
+//	xeonchar -all -metrics-out metrics.json    # registry snapshot (cache traffic, rates)
+//	xeonchar -all -cpuprofile cpu.pprof        # CPU profile with per-cell pprof labels
+//
+// Ctrl-C cancels between cells: the journal keeps every completed cell
+// with a clean tail, and the trace/metrics files are still written.
 //
 // Paper-fidelity regression (see internal/golden and EXPERIMENTS.md):
 //
@@ -25,11 +31,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"xeonomp/internal/config"
@@ -37,6 +47,7 @@ import (
 	"xeonomp/internal/journal"
 	"xeonomp/internal/lmbench"
 	"xeonomp/internal/machine"
+	"xeonomp/internal/obs"
 	"xeonomp/internal/profiles"
 	"xeonomp/internal/report"
 	"xeonomp/internal/runcache"
@@ -46,6 +57,18 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xeonchar:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program behind main. Everything that must happen on the
+// way out — closing the journal, stopping the CPU profile, writing the
+// trace and metrics files — is a defer here, so both the error path and
+// Ctrl-C cancellation (which unwinds through the study's context, not
+// os.Exit) leave complete files behind.
+func run() (err error) {
 	var (
 		fig     = flag.Int("fig", 0, "figure to regenerate (2, 3, 4, 5)")
 		table   = flag.Int("table", 0, "table to regenerate (1, 2)")
@@ -73,52 +96,117 @@ func main() {
 		jpath     = flag.String("journal", "", "append every completed cell to this JSONL run journal")
 		resume    = flag.Bool("resume", false, "replay the -journal file before running, skipping already-completed cells")
 		progIvl   = flag.Duration("progress", 10*time.Second, "progress-report interval on stderr (0 disables)")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of study/cell spans to this file (chrome://tracing, Perfetto)")
+		metricsOut = flag.String("metrics-out", "", "write a JSON snapshot of the obs metric registry to this file on exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file; samples carry per-cell pprof labels")
 	)
 	flag.Parse()
 
-	opt := core.DefaultOptions()
-	opt.Workers = *workers
-	opt.Scale = *scale
-	if *machCfg != "" {
-		f, err := os.Open(*machCfg)
-		if err != nil {
-			fail(err)
-		}
-		mc, err := machine.LoadConfig(f)
-		_ = f.Close() // read-only; the load error is the one that matters
-		if err != nil {
-			fail(err)
-		}
-		opt.Machine = &mc
-	}
-	opt.Seed = *seed
-	opt.WarmupFrac = *warmup
-
-	if *cacheSize >= 0 {
-		cache, err := runcache.New(*cacheSize, *cacheDir)
-		if err != nil {
-			fail(err)
-		}
-		opt.Cache = cache
+	if *phases == "" && *exportJSON == "" && *checkDir == "" && !*updateGold &&
+		!*all && *fig == 0 && *table == 0 && !*lmb {
+		flag.Usage()
+		os.Exit(2)
 	}
 	if *resume && *jpath == "" {
 		fmt.Fprintln(os.Stderr, "xeonchar: -resume requires -journal")
 		os.Exit(2)
 	}
+	var pol sched.Policy
+	switch *policy {
+	case "alternate":
+		pol = sched.Alternate
+	case "block":
+		pol = sched.Block
+	case "round-robin":
+		pol = sched.RoundRobin
+	case "symbiotic":
+		pol = sched.Symbiotic
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	// Ctrl-C / SIGTERM cancel the context; the studies stop between cells
+	// and the deferred writers below still run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *traceOut != "" {
+		obs.SetTracer(obs.NewTracer())
+		defer func() {
+			if werr := writeTraceFile(*traceOut); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if werr := writeMetricsFile(*metricsOut); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, cerr := os.Create(*cpuProfile)
+		if cerr != nil {
+			return cerr
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			_ = f.Close() // the profile error is the one worth reporting
+			return perr
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+
+	optFns := []core.Option{
+		core.WithScale(*scale),
+		core.WithSeed(*seed),
+		core.WithWorkers(*workers),
+		core.WithWarmupFrac(*warmup),
+		core.WithPolicy(pol),
+	}
+	if *machCfg != "" {
+		f, err := os.Open(*machCfg)
+		if err != nil {
+			return err
+		}
+		mc, err := machine.LoadConfig(f)
+		_ = f.Close() // read-only; the load error is the one that matters
+		if err != nil {
+			return err
+		}
+		optFns = append(optFns, core.WithMachine(&mc))
+	}
+
+	var cache *runcache.Cache
+	if *cacheSize >= 0 {
+		c, err := runcache.New(*cacheSize, *cacheDir)
+		if err != nil {
+			return err
+		}
+		cache = c
+		optFns = append(optFns, core.WithCache(cache))
+	}
 	if *jpath != "" {
 		if !*resume {
 			// Without -resume a journal records this invocation only.
 			if err := os.Remove(*jpath); err != nil && !os.IsNotExist(err) {
-				fail(err)
+				return err
 			}
 		}
 		jn, err := journal.Open(*jpath)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer func() {
-			if err := jn.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "xeonchar: closing journal:", err)
+			if cerr := jn.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "xeonchar: closing journal:", cerr)
 			}
 		}()
 		if *resume {
@@ -128,38 +216,30 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr)
 		}
-		opt.Journal = jn
+		optFns = append(optFns, core.WithJournal(jn))
 	}
 	if *progIvl > 0 {
-		opt.Progress = journal.NewProgress(os.Stderr, *progIvl)
+		prog := journal.NewProgress(os.Stderr, *progIvl)
+		optFns = append(optFns, core.WithProgress(prog))
 		defer func() {
-			opt.Progress.Finish()
-			if s := opt.Cache.Stats(); s.Hits()+s.Misses > 0 {
+			prog.Finish()
+			if s := cache.Stats(); s.Hits()+s.Misses > 0 {
 				fmt.Fprintf(os.Stderr, "run cache: %d mem hits, %d disk hits, %d misses (%.1f%% hit rate), %d evictions\n",
 					s.MemHits, s.DiskHits, s.Misses, 100*s.HitRate(), s.Evictions)
 			}
 		}()
 	}
-	switch *policy {
-	case "alternate":
-		opt.Policy = sched.Alternate
-	case "block":
-		opt.Policy = sched.Block
-	case "round-robin":
-		opt.Policy = sched.RoundRobin
-	case "symbiotic":
-		opt.Policy = sched.Symbiotic
-	default:
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
-		os.Exit(2)
+	opt, err := core.NewOptions(optFns...)
+	if err != nil {
+		return err
 	}
 
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			fail(err)
+			return err
 		}
 	}
-	emit := func(t *report.Table) {
+	emit := func(t *report.Table) error {
 		if *csv {
 			fmt.Print(t.CSV())
 		} else {
@@ -168,126 +248,155 @@ func main() {
 		if *outdir != "" {
 			name := sanitize(t.Title)
 			if err := os.WriteFile(filepath.Join(*outdir, name+".csv"), []byte(t.CSV()), 0o644); err != nil {
-				fail(err)
+				return err
 			}
 			j, err := t.JSON()
 			if err != nil {
-				fail(err)
+				return err
 			}
 			if err := os.WriteFile(filepath.Join(*outdir, name+".json"), j, 0o644); err != nil {
-				fail(err)
+				return err
 			}
 		}
+		return nil
 	}
 
 	if *phases != "" {
-		if err := runPhases(*phases, *archStr, opt, emit); err != nil {
-			fail(err)
-		}
-		return
+		return runPhases(ctx, *phases, *archStr, opt, emit)
 	}
 
 	if *exportJSON != "" || *checkDir != "" || *updateGold {
-		if err := runGolden(opt, *exportJSON, *checkDir, *updateGold); err != nil {
-			fail(err)
-		}
-		return
-	}
-
-	if !*all && *fig == 0 && *table == 0 && !*lmb {
-		flag.Usage()
-		os.Exit(2)
+		return runGolden(ctx, opt, *exportJSON, *checkDir, *updateGold)
 	}
 
 	if *all || *lmb {
 		if err := runLmbench(emit); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if *all || *table == 1 {
-		emit(core.Table1Report())
+		if err := emit(core.Table1Report()); err != nil {
+			return err
+		}
 	}
 
 	var single *core.SingleStudy
 	needSingle := *all || *fig == 2 || *fig == 3 || *table == 2 || *jsonOut != ""
 	if needSingle {
 		fmt.Fprintf(os.Stderr, "running single-program study (6 benchmarks x 8 configurations, scale %.2f)...\n", *scale)
-		var err error
-		single, err = core.RunSingleStudy(opt)
-		if err != nil {
-			fail(err)
+		single = core.NewSingleStudy()
+		if err := single.Run(ctx, opt); err != nil {
+			return err
 		}
 	}
 	if *all || *fig == 2 {
 		tables, err := single.Figure2Tables()
 		if err != nil {
-			fail(err)
+			return err
 		}
 		for _, t := range tables {
-			emit(t)
+			if err := emit(t); err != nil {
+				return err
+			}
 		}
 	}
 	if *all || *fig == 3 {
 		t, err := single.Figure3Table()
 		if err != nil {
-			fail(err)
+			return err
 		}
-		emit(t)
+		if err := emit(t); err != nil {
+			return err
+		}
 		if *svgdir != "" {
 			if err := writeFigure3SVG(*svgdir, single); err != nil {
-				fail(err)
+				return err
 			}
 		}
 	}
 	if *all || *table == 2 {
 		t, err := single.Table2Report()
 		if err != nil {
-			fail(err)
+			return err
 		}
-		emit(t)
+		if err := emit(t); err != nil {
+			return err
+		}
 	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := single.WriteJSON(f); err != nil {
-			fail(err)
+			_ = f.Close() // the write error is the one worth reporting
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if *all || *fig == 4 {
 		fmt.Fprintf(os.Stderr, "running multi-program study (3 workloads x 8 configurations)...\n")
-		pairs, err := core.RunPairStudy(opt)
-		if err != nil {
-			fail(err)
+		pairs := core.NewPairStudy()
+		if err := pairs.Run(ctx, opt); err != nil {
+			return err
 		}
 		tables, err := pairs.Figure4Tables()
 		if err != nil {
-			fail(err)
+			return err
 		}
 		for _, t := range tables {
-			emit(t)
+			if err := emit(t); err != nil {
+				return err
+			}
 		}
 	}
 	if *all || *fig == 5 {
 		fmt.Fprintf(os.Stderr, "running cross-product study (21 pairs x 7 configurations)...\n")
-		cross, err := core.RunCrossStudy(opt)
-		if err != nil {
-			fail(err)
+		cross := core.NewCrossStudy()
+		if err := cross.Run(ctx, opt); err != nil {
+			return err
 		}
 		fmt.Println(cross.Figure5Plot())
 		if *svgdir != "" {
 			if err := writeFigure5SVG(*svgdir, cross); err != nil {
-				fail(err)
+				return err
 			}
 		}
 	}
+	return nil
 }
 
-func runLmbench(emit func(*report.Table)) error {
+// writeTraceFile dumps the process tracer's spans as Chrome trace JSON.
+func writeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.CurrentTracer().WriteTrace(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// writeMetricsFile dumps the default metric registry as JSON.
+func writeMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.Default.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+func runLmbench(emit func(*report.Table) error) error {
 	m, err := machine.New(machine.PaxvilleSMP())
 	if err != nil {
 		return err
@@ -305,14 +414,13 @@ func runLmbench(emit func(*report.Table)) error {
 	t.Add("write bandwidth, 1 chip", fmt.Sprintf("%.2f GB/s", r.WriteBW1/units.GB), "1.77 GB/s")
 	t.Add("read bandwidth, 2 chips", fmt.Sprintf("%.2f GB/s", r.ReadBW2/units.GB), "4.43 GB/s")
 	t.Add("write bandwidth, 2 chips", fmt.Sprintf("%.2f GB/s", r.WriteBW2/units.GB), "2.6 GB/s")
-	emit(t)
-	return nil
+	return emit(t)
 }
 
 // runPhases runs one benchmark with the counter sampler attached and prints
 // the metric time series — the phase behaviour view the paper's VTune
 // methodology produces.
-func runPhases(bench, arch string, opt core.Options, emit func(*report.Table)) error {
+func runPhases(ctx context.Context, bench, arch string, opt core.Options, emit func(*report.Table) error) error {
 	prof, err := profiles.ByName(bench)
 	if err != nil {
 		return err
@@ -324,7 +432,7 @@ func runPhases(bench, arch string, opt core.Options, emit func(*report.Table)) e
 	if opt.SampleInterval <= 0 {
 		opt.SampleInterval = 500_000
 	}
-	res, err := core.RunSingle(prof, cfg, opt)
+	res, err := core.RunSingleContext(ctx, prof, cfg, opt)
 	if err != nil {
 		return err
 	}
@@ -335,13 +443,7 @@ func runPhases(bench, arch string, opt core.Options, emit func(*report.Table)) e
 		m := s.Metrics()
 		t.AddF(i, s.End-s.Start, m.CPI, m.L1MissRate, m.L2MissRate, m.BranchPredRate, m.StalledPct, m.PrefetchBusPct)
 	}
-	emit(t)
-	return nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "xeonchar:", err)
-	os.Exit(1)
+	return emit(t)
 }
 
 // sanitize turns a table title into a file name.

@@ -21,8 +21,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := core.DefaultOptions()
-	opt.Scale = 0.25
+	opt, err := core.NewOptions(core.WithScale(0.25))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Baseline: the paper's machine, CMP-based SMP (4 cores over 2 chips).
 	cmpSMP, err := config.ByArch(config.CMPSMP)

@@ -24,8 +24,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := core.DefaultOptions()
-	opt.Scale = 0.25
+	opt, err := core.NewOptions(core.WithScale(0.25))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Serial baselines for per-program speedups.
 	base := map[string]int64{}

@@ -24,9 +24,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := core.DefaultOptions()
-	opt.Scale = 0.2
-	opt.SampleInterval = 400_000 // cycles per window (~143 us at 2.8 GHz)
+	// 400_000-cycle windows: ~143 us at 2.8 GHz.
+	opt, err := core.NewOptions(core.WithScale(0.2), core.WithSampleInterval(400_000))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	res, err := core.RunSingle(mg, cmt, opt)
 	if err != nil {

@@ -27,8 +27,10 @@ func main() {
 
 	// 2. Run it, plus the serial baseline, at a reduced scale for a quick
 	// demonstration.
-	opt := core.DefaultOptions()
-	opt.Scale = 0.25
+	opt, err := core.NewOptions(core.WithScale(0.25))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	serial, err := core.SerialBaseline(cg, opt)
 	if err != nil {

@@ -31,8 +31,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := core.DefaultOptions()
-	opt.Scale = 0.25
+	opt, err := core.NewOptions(core.WithScale(0.25))
+	if err != nil {
+		log.Fatal(err)
+	}
 	base := map[string]int64{}
 	for _, p := range w.Programs {
 		s, err := core.SerialBaseline(p, opt)

@@ -3,7 +3,9 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/types"
+	"strings"
 )
 
 // CounterParity is the cross-package schema guard: every metric the
@@ -20,6 +22,12 @@ import (
 //     Event constant. The array is sized by the compiler, but a forgotten
 //     entry compiles as "" — and an unnamed event serializes as an empty
 //     JSON key, corrupting every artifact that touches it.
+//
+// A third invariant anchors on the package named "obs": every exported
+// Metric* string constant must be the name argument of a registration
+// call (obs.NewCounter/NewGauge/NewHistogram or the Registry methods)
+// somewhere in the module. A declared-but-unregistered metric name is a
+// dashboard column that silently never appears in any snapshot.
 type CounterParity struct{}
 
 func (*CounterParity) Name() string { return "counterparity" }
@@ -28,8 +36,11 @@ func (*CounterParity) Doc() string {
 }
 
 func (a *CounterParity) Check(prog *Program, pkg *Package) []Diagnostic {
-	// The analyzer anchors on the counters package and looks outward; on
-	// every other package it has nothing to do.
+	// The analyzer anchors on the counters and obs packages and looks
+	// outward; on every other package it has nothing to do.
+	if pkg.Name == "obs" {
+		return a.checkMetricRegistration(prog, pkg)
+	}
 	if pkg.Name != "counters" {
 		return nil
 	}
@@ -50,6 +61,82 @@ func (a *CounterParity) Check(prog *Program, pkg *Package) []Diagnostic {
 
 	diags = append(diags, a.checkEventNames(prog, pkg)...)
 	return diags
+}
+
+// metricRegistrars are the obs entry points whose first name argument
+// registers a metric: the package-level constructors and the Registry
+// methods they wrap.
+var metricRegistrars = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+	"Counter":      true,
+	"Gauge":        true,
+	"Histogram":    true,
+}
+
+// checkMetricRegistration verifies every exported Metric* string constant
+// in the obs package reaches a registration call somewhere in the module.
+// Registration is matched by constant value, so both obs.MetricX at a
+// call site and a dot-imported or locally aliased use count.
+func (a *CounterParity) checkMetricRegistration(prog *Program, obsPkg *Package) []Diagnostic {
+	// Collect the declared metric name constants.
+	consts := map[string]*types.Const{} // metric name value -> constant
+	scope := obsPkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !strings.HasPrefix(name, "Metric") {
+			continue
+		}
+		if c.Val().Kind() != constant.String {
+			continue
+		}
+		consts[constant.StringVal(c.Val())] = c
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+
+	// Scan every package for registration calls and resolve the name
+	// argument's constant value.
+	registered := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkg.Path || !metricRegistrars[fn.Name()] {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					registered[constant.StringVal(tv.Value)] = true
+				}
+				return true
+			})
+		}
+	}
+
+	var diags []Diagnostic
+	for _, name := range scope.Names() { // scope order keeps output stable
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || consts[metricValue(c)] != c || registered[metricValue(c)] {
+			continue
+		}
+		diags = append(diags, Diagnostic{prog.Fset.Position(c.Pos()), a.Name(),
+			fmt.Sprintf("obs metric constant %s (%q) is never registered via NewCounter/NewGauge/NewHistogram; the metric can never appear in a snapshot", c.Name(), metricValue(c)), nil})
+	}
+	return diags
+}
+
+// metricValue returns a constant's string value, or "" for non-strings.
+func metricValue(c *types.Const) string {
+	if c.Val().Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(c.Val())
 }
 
 // metricsStruct finds the Metrics struct type in the counters package.

@@ -38,21 +38,76 @@ func (*NDTaint) Doc() string {
 
 // wallClockAllowlist names the packages (by path suffix) allowed to read
 // the wall clock: the progress/ETA reporter, which exists to report real
-// elapsed time, and the functional NAS harness, which times real
-// computation. Everything else in the tree is simulation or export code,
+// elapsed time, the functional NAS harness, which times real computation,
+// and the observability layer, which is the single clock-reading choke
+// point the rest of the tree instruments through (obs.StartTimer/Span) —
+// its values flow into the metric registry and tracer, never into
+// artifacts. Everything else in the tree is simulation or export code,
 // where wall-clock reads are nondeterminism leaking into results.
+//
+// The allowlist is also a taint *boundary* for the interprocedural
+// solver, but only for opaque handles: clock taint originating inside an
+// allowlisted package is stripped from a function's returns when every
+// result is a type the package declares itself (obs.Timer, *obs.Span), a
+// context, or an error — handles whose timing content is consumed by the
+// observability layer, never exported. Plain data escaping an allowlisted
+// function (a time.Time, an int64 of nanoseconds) keeps its clock taint,
+// clock taint passing through an allowlisted call via its arguments still
+// propagates, and a direct time.Now in any other package is still
+// flagged.
 var wallClockAllowlist = []string{
 	"internal/journal",
+	"internal/obs",
 	"cmd/nasrun",
 }
 
 func allowlisted(pkg *Package) bool {
+	return allowlistedPath(pkg.Path)
+}
+
+func allowlistedPath(path string) bool {
 	for _, allowed := range wallClockAllowlist {
-		if pathHasSuffix(pkg.Path, allowed) {
+		if pathHasSuffix(path, allowed) {
 			return true
 		}
 	}
 	return false
+}
+
+// clockBoundary reports whether fn's returns form a clock-taint
+// boundary: fn is declared in an allowlisted package and every result is
+// an opaque handle type (declared in an allowlisted package itself, a
+// context, or an error) rather than plain data that could end up in an
+// artifact.
+func clockBoundary(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || !allowlistedPath(fn.Pkg().Path()) {
+		return false
+	}
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return false
+	}
+	for i := 0; i < res.Len(); i++ {
+		if !boundaryType(res.At(i).Type()) {
+			return false
+		}
+	}
+	return true
+}
+
+func boundaryType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name() == "error"
+	}
+	return obj.Pkg().Path() == "context" || allowlistedPath(obj.Pkg().Path())
 }
 
 // wallClockFuncs are the time package entry points that observe the wall
@@ -598,8 +653,15 @@ func (a *taintAnalysis) evalCall(call *ast.CallExpr) taintMask {
 			}
 		}
 		// Return mask: callee sources pass through; callee input bits
-		// resolve to the matching argument masks.
+		// resolve to the matching argument masks. Opaque timing handles
+		// returned by allowlisted packages are clock-taint boundaries —
+		// sanctioned wall-clock consumers, not simulation data — so their
+		// own clock reads stop here (input resolution below still carries
+		// a caller's clock taint through unchanged).
 		m := taintMask(sum.ret.kinds())
+		if clockBoundary(fn) {
+			m &^= taintMask(taintClock)
+		}
 		for i, am := range args {
 			if sum.ret&inputBit(i) != 0 {
 				m |= am

@@ -1,0 +1,30 @@
+// Package obs mirrors the metric registry shape the analyzer anchors on:
+// Metric* string constants name metrics, NewCounter and friends register
+// them. A constant nobody registers is a metric that can never appear in
+// a snapshot.
+package obs
+
+// Counter is a stand-in for the real atomic counter.
+type Counter struct{ v uint64 }
+
+// NewCounter registers a counter under name.
+func NewCounter(name string) *Counter { return &Counter{} }
+
+// Gauge is a stand-in for the real gauge.
+type Gauge struct{ v uint64 }
+
+// Registry is a stand-in metric registry; its methods are registration
+// sites too.
+type Registry struct{}
+
+// Gauge registers a gauge under name.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+const (
+	// MetricHits is registered by the user package below.
+	MetricHits = "cache.hits"
+	// MetricDepth is registered through a Registry method.
+	MetricDepth = "queue.depth"
+	// MetricOrphan is declared but never registered anywhere.
+	MetricOrphan = "cache.orphan" // want `obs metric constant MetricOrphan ("cache.orphan") is never registered`
+)

@@ -3,6 +3,7 @@
 package taint
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"time"
@@ -83,4 +84,36 @@ func deterministic(a *golden.Artifact) {
 // tuning, not nondeterministic data.
 func verbose() bool {
 	return os.Getenv("XEON_VERBOSE") == "1"
+}
+
+// Negative: an opaque timing handle from an allowlisted package is a
+// clock-taint boundary — instrumented code holding one stays clean.
+func timedExport(a *golden.Artifact) {
+	t := journal.StartTimer()
+	defer observe(t)
+	a.Add("cells", 3)
+}
+
+func observe(journal.Timer) {}
+
+// Negative: a context threaded through an allowlisted marker (a span
+// attached to the request context) flows into computation without marking
+// the computed results clock-derived. Before the boundary rule, the
+// tuple assignment tainted ctx, ctx.Err() tainted the helper's return,
+// and every exported value downstream was flagged.
+func exportWithContext(ctx context.Context, a *golden.Artifact) {
+	ctx, t := journal.Mark(ctx)
+	defer observe(t)
+	v, err := compute(ctx)
+	if err != nil {
+		return
+	}
+	a.Add("computed", v)
+}
+
+func compute(ctx context.Context) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return 2.5, nil
 }

@@ -41,35 +41,32 @@ func cellLabel(w Workload, cfg config.Configuration, opt Options) string {
 
 // runCached serves a cell from the run cache or the replayed journal when
 // possible, computing and recording it otherwise. Decode failures —
-// corrupt disk entries, schema drift — degrade to recomputation.
-func runCached(w Workload, cfg config.Configuration, opt Options) (*RunResult, error) {
+// corrupt disk entries, schema drift — degrade to recomputation. The
+// cached return reports whether the cell was served rather than computed;
+// RunContext owns the progress and metric accounting built on it.
+func runCached(w Workload, cfg config.Configuration, opt Options) (*RunResult, bool, error) {
 	hash, err := CacheKey(w, cfg, opt).Hash()
 	if err != nil {
 		// An unhashable key cannot happen with plain-data inputs; if it
 		// does, fall back to the uncached path rather than failing the run.
 		res, rerr := runUncached(w, cfg, opt)
-		if rerr == nil {
-			opt.Progress.Done(false)
-		}
-		return res, rerr
+		return res, false, rerr
 	}
 	if payload, ok := opt.Cache.Get(hash); ok {
 		if res, err := decodeRunResult(payload); err == nil {
-			opt.Progress.Done(true)
-			return res, nil
+			return res, true, nil
 		}
 	}
 	if payload, ok := opt.Journal.Replayed(hash); ok {
 		if res, err := decodeRunResult(payload); err == nil {
 			// Promote into the cache so later lookups skip the journal map.
 			_ = opt.Cache.Put(hash, payload)
-			opt.Progress.Done(true)
-			return res, nil
+			return res, true, nil
 		}
 	}
 	res, err := runUncached(w, cfg, opt)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if payload, err := encodeRunResult(res); err == nil {
 		// Best effort: a full disk or read-only journal must not fail the
@@ -77,8 +74,7 @@ func runCached(w Workload, cfg config.Configuration, opt Options) (*RunResult, e
 		_ = opt.Cache.Put(hash, payload)
 		_ = opt.Journal.Append(hash, cellLabel(w, cfg, opt), payload)
 	}
-	opt.Progress.Done(false)
-	return res, nil
+	return res, false, nil
 }
 
 // eventByName maps counter-event names back to events for decoding.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -221,7 +222,7 @@ func TestCorruptCacheEntryRecomputed(t *testing.T) {
 func TestForEachJobAggregatesErrors(t *testing.T) {
 	var gate sync.WaitGroup
 	gate.Add(2)
-	err := forEachJob(2, 2, func(i int) error {
+	err := forEachJob(context.Background(), 2, 2, func(_ context.Context, i int) error {
 		// Both workers enter before either fails, so neither can be
 		// suppressed by the other's failure flag.
 		gate.Done()
@@ -246,7 +247,7 @@ func TestForEachJobFailureDoesNotDeadlock(t *testing.T) {
 	boom := errors.New("boom")
 	ran := 0
 	var mu sync.Mutex
-	err := forEachJob(10_000, 4, func(i int) error {
+	err := forEachJob(context.Background(), 10_000, 4, func(_ context.Context, i int) error {
 		mu.Lock()
 		ran++
 		mu.Unlock()
@@ -265,7 +266,7 @@ func TestForEachJobFailureDoesNotDeadlock(t *testing.T) {
 
 func TestForEachJobSequentialStopsAtFirstError(t *testing.T) {
 	calls := 0
-	err := forEachJob(10, 1, func(i int) error {
+	err := forEachJob(context.Background(), 10, 1, func(_ context.Context, i int) error {
 		calls++
 		if i == 2 {
 			return errors.New("stop")

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"xeonomp/internal/config"
@@ -14,9 +15,20 @@ import (
 	"xeonomp/internal/cpu"
 	"xeonomp/internal/journal"
 	"xeonomp/internal/machine"
+	"xeonomp/internal/obs"
 	"xeonomp/internal/profiles"
 	"xeonomp/internal/runcache"
 	"xeonomp/internal/sched"
+)
+
+// Process-wide observability series (see internal/obs): cell traffic and
+// latency for the experiment engine, plus study-driver worker telemetry.
+var (
+	obsCellsComputed = obs.NewCounter(obs.MetricCoreCellsComputed)
+	obsCellsCached   = obs.NewCounter(obs.MetricCoreCellsCached)
+	obsCellNs        = obs.NewHistogram(obs.MetricCoreCellNs)
+	obsWorkers       = obs.NewGauge(obs.MetricCoreWorkers)
+	obsWorkerUtil    = obs.NewGauge(obs.MetricCoreWorkerUtil)
 )
 
 // Options controls a characterization run.
@@ -81,7 +93,7 @@ func (o Options) validate() error {
 	if o.WarmupFrac < 0 || o.WarmupFrac >= 1 {
 		return fmt.Errorf("core: warmup fraction %g out of [0,1)", o.WarmupFrac)
 	}
-	return nil
+	return o.validateBounds()
 }
 
 // ProgramResult is the outcome of one program within a run.
@@ -143,22 +155,57 @@ func threadsPerProgram(cfg config.Configuration, programs int) int {
 }
 
 // Run executes workload w under configuration cfg and returns per-program
-// results. Every run uses a freshly built machine, mirroring the paper's
-// independent trials. When Options carries a run cache or journal, the
-// cell is served from there when possible and recorded after computing;
-// either way the result is identical to an uncached run.
+// results. It is RunContext with a background context.
 func Run(w Workload, cfg config.Configuration, opt Options) (*RunResult, error) {
+	return RunContext(context.Background(), w, cfg, opt)
+}
+
+// RunContext executes workload w under configuration cfg and returns
+// per-program results. Every run uses a freshly built machine, mirroring
+// the paper's independent trials. When Options carries a run cache or
+// journal, the cell is served from there when possible and recorded after
+// computing; either way the result is identical to an uncached run.
+//
+// The context carries cancellation (a canceled ctx returns before any
+// simulation work) and the observability plumbing: the cell records a
+// trace span (named "cell", tagged benchmark/config/cached) under the span
+// already in ctx, and the simulation runs under pprof labels so CPU
+// profiles attribute samples to the cell.
+func RunContext(ctx context.Context, w Workload, cfg config.Configuration, opt Options) (*RunResult, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	if opt.Cache == nil && opt.Journal == nil {
-		res, err := runUncached(w, cfg, opt)
-		if err == nil {
-			opt.Progress.Done(false)
-		}
-		return res, err
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return runCached(w, cfg, opt)
+	ctx, sp := obs.StartSpan(ctx, "cell", "benchmark", w.Name(), "config", cfg.Name)
+	defer sp.End()
+	t := obs.StartTimer()
+	var (
+		res    *RunResult
+		cached bool
+		err    error
+	)
+	obs.DoCell(ctx, w.Name(), cfg.Name, func(context.Context) {
+		if opt.Cache == nil && opt.Journal == nil {
+			res, err = runUncached(w, cfg, opt)
+		} else {
+			res, cached, err = runCached(w, cfg, opt)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	obsCellNs.ObserveSince(t)
+	if cached {
+		obsCellsCached.Inc()
+		sp.SetArg("cached", "true")
+	} else {
+		obsCellsComputed.Inc()
+		sp.SetArg("cached", "false")
+	}
+	opt.Progress.Done(cached)
+	return res, nil
 }
 
 // runUncached is the cache-oblivious simulation path: build the machine,
@@ -249,17 +296,28 @@ func runUncached(w Workload, cfg config.Configuration, opt Options) (*RunResult,
 
 // RunSingle is a convenience wrapper for one-program workloads.
 func RunSingle(p profiles.Profile, cfg config.Configuration, opt Options) (*RunResult, error) {
-	return Run(Single(p), cfg, opt)
+	return RunContext(context.Background(), Single(p), cfg, opt)
+}
+
+// RunSingleContext is RunSingle with cancellation and span/label context.
+func RunSingleContext(ctx context.Context, p profiles.Profile, cfg config.Configuration, opt Options) (*RunResult, error) {
+	return RunContext(ctx, Single(p), cfg, opt)
 }
 
 // SerialBaseline runs benchmark p alone on the Serial configuration and
 // returns its result; speedups in the figures are relative to this.
 func SerialBaseline(p profiles.Profile, opt Options) (*RunResult, error) {
+	return SerialBaselineContext(context.Background(), p, opt)
+}
+
+// SerialBaselineContext is SerialBaseline with cancellation and span/label
+// context.
+func SerialBaselineContext(ctx context.Context, p profiles.Profile, opt Options) (*RunResult, error) {
 	serial, err := config.ByArch(config.Serial)
 	if err != nil {
 		return nil, err
 	}
-	return RunSingle(p, serial, opt)
+	return RunContext(ctx, Single(p), serial, opt)
 }
 
 // Speedup returns baseline/cycles, the paper's speedup definition.

@@ -20,7 +20,7 @@ func serializedStudy(t *testing.T, workers int) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	arts, err := s.Artifacts(opt)
+	arts, err := s.Artifacts()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,46 +9,73 @@ import (
 	"sync/atomic"
 
 	"xeonomp/internal/config"
+	"xeonomp/internal/golden"
+	"xeonomp/internal/obs"
 	"xeonomp/internal/profiles"
 	"xeonomp/internal/stats"
 )
 
+// Study is the one seam every experiment driver shares: Run executes the
+// study's cells under opt (storing opt for provenance), honoring ctx
+// cancellation between cells, and Artifacts serializes the finished study
+// as golden regression artifacts stamped with the Options it ran under.
+// NewSingleStudy, NewPairStudy and NewCrossStudy build the three studies
+// of the paper.
+type Study interface {
+	Run(ctx context.Context, opt Options) error
+	Artifacts() ([]*golden.Artifact, error)
+}
+
 // forEachJob runs fn over 0..n-1 with the given worker count (<=1 means
 // sequential). Workers always drain the job channel — even after a
-// failure — so the producer can never deadlock; remaining jobs are
-// skipped once any worker has failed, and all worker errors are
-// aggregated with errors.Join. Every run uses its own Machine, so
-// parallel execution cannot change results — TestStudiesWorkerInvariant
-// pins that.
-func forEachJob(n, workers int, fn func(i int) error) error {
+// failure or context cancellation — so the producer can never deadlock;
+// remaining jobs are skipped once any worker has failed or ctx is done,
+// and all worker errors (including ctx.Err) are aggregated with
+// errors.Join. Every run uses its own Machine, so parallel execution
+// cannot change results — TestStudiesWorkerInvariant pins that.
+//
+// Each worker goroutine gets its own trace lane, so concurrent cells
+// render as parallel tracks, and the pool reports its size and busy
+// fraction to the core.workers / core.worker_utilization gauges.
+func forEachJob(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	obsWorkers.Set(float64(workers))
+	wall := obs.StartTimer()
+	var busyNs atomic.Int64
 	jobs := make(chan int)
 	errCh := make(chan error, workers)
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
+			wctx := obs.WithLane(ctx, lane)
 			var errs []error
 			for i := range jobs {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue // keep draining so the producer never blocks
 				}
-				if err := fn(i); err != nil {
+				t := obs.StartTimer()
+				err := fn(wctx, i)
+				busyNs.Add(t.ElapsedNs())
+				if err != nil {
 					failed.Store(true)
 					errs = append(errs, err)
 				}
 			}
 			errCh <- errors.Join(errs...)
-		}()
+		}(w + 1)
 	}
 	for i := 0; i < n; i++ {
 		jobs <- i
@@ -55,11 +83,15 @@ func forEachJob(n, workers int, fn func(i int) error) error {
 	close(jobs)
 	wg.Wait()
 	close(errCh)
+	obsWorkerUtil.Set(wall.Utilization(busyNs.Load(), workers))
 	var all []error
 	for err := range errCh {
 		if err != nil {
 			all = append(all, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		all = append(all, err)
 	}
 	return errors.Join(all...)
 }
@@ -79,18 +111,24 @@ type SingleStudy struct {
 	Results    map[CellKey]*RunResult
 	Baselines  map[string]int64 // serial wall cycles per benchmark
 	DTLBSerial map[string]float64
+
+	opt Options // the Options Run executed under; Artifacts stamps from it
 }
 
-// RunSingleStudy executes every studied benchmark under every Table-1
-// configuration.
-func RunSingleStudy(opt Options) (*SingleStudy, error) {
-	s := &SingleStudy{
-		Benchmarks: profiles.StudiedNames(),
-		Configs:    config.Table1(),
-		Results:    map[CellKey]*RunResult{},
-		Baselines:  map[string]int64{},
-		DTLBSerial: map[string]float64{},
-	}
+// NewSingleStudy returns an empty single-program study; Run populates it.
+func NewSingleStudy() *SingleStudy { return &SingleStudy{} }
+
+// Run executes every studied benchmark under every Table-1 configuration,
+// stopping between cells when ctx is canceled.
+func (s *SingleStudy) Run(ctx context.Context, opt Options) error {
+	ctx, sp := obs.StartSpan(ctx, "study", "name", "single")
+	defer sp.End()
+	s.opt = opt
+	s.Benchmarks = profiles.StudiedNames()
+	s.Configs = config.Table1()
+	s.Results = map[CellKey]*RunResult{}
+	s.Baselines = map[string]int64{}
+	s.DTLBSerial = map[string]float64{}
 	type job struct {
 		bench string
 		cfg   config.Configuration
@@ -103,13 +141,13 @@ func RunSingleStudy(opt Options) (*SingleStudy, error) {
 	}
 	opt.Progress.AddTotal(len(jobs))
 	var mu sync.Mutex
-	err := forEachJob(len(jobs), opt.Workers, func(i int) error {
+	return forEachJob(ctx, len(jobs), opt.Workers, func(ctx context.Context, i int) error {
 		j := jobs[i]
 		prof, err := profiles.ByName(j.bench)
 		if err != nil {
 			return err
 		}
-		res, err := RunSingle(prof, j.cfg, opt)
+		res, err := RunSingleContext(ctx, prof, j.cfg, opt)
 		if err != nil {
 			return err
 		}
@@ -122,7 +160,17 @@ func RunSingleStudy(opt Options) (*SingleStudy, error) {
 		}
 		return nil
 	})
-	if err != nil {
+}
+
+// RunSingleStudy executes every studied benchmark under every Table-1
+// configuration.
+//
+// Deprecated: use NewSingleStudy and the Study interface
+// (s.Run(ctx, opt)), which adds cancellation; this wrapper remains for
+// existing callers.
+func RunSingleStudy(opt Options) (*SingleStudy, error) {
+	s := NewSingleStudy()
+	if err := s.Run(context.Background(), opt); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -194,7 +242,12 @@ type PairStudy struct {
 	// Results[workloadName][cfgName] is the pair run.
 	Results   map[string]map[string]*RunResult
 	Baselines map[string]int64
+
+	opt Options // the Options Run executed under; Artifacts stamps from it
 }
+
+// NewPairStudy returns an empty fixed-pair study; Run populates it.
+func NewPairStudy() *PairStudy { return &PairStudy{} }
 
 // Figure4Workloads returns the paper's three multi-program workloads.
 func Figure4Workloads() ([]Workload, error) {
@@ -209,18 +262,20 @@ func Figure4Workloads() ([]Workload, error) {
 	return []Workload{Pair(cg, ft), Pair(ft, ft), Pair(cg, cg)}, nil
 }
 
-// RunPairStudy executes the Figure-4 workloads under every configuration.
-func RunPairStudy(opt Options) (*PairStudy, error) {
+// Run executes the Figure-4 workloads under every configuration, stopping
+// between cells when ctx is canceled.
+func (s *PairStudy) Run(ctx context.Context, opt Options) error {
+	ctx, sp := obs.StartSpan(ctx, "study", "name", "pair")
+	defer sp.End()
 	wls, err := Figure4Workloads()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	s := &PairStudy{
-		Workloads: wls,
-		Configs:   config.Table1(),
-		Results:   map[string]map[string]*RunResult{},
-		Baselines: map[string]int64{},
-	}
+	s.opt = opt
+	s.Workloads = wls
+	s.Configs = config.Table1()
+	s.Results = map[string]map[string]*RunResult{}
+	s.Baselines = map[string]int64{}
 	uniq := map[string]bool{}
 	for _, w := range wls {
 		for _, p := range w.Programs {
@@ -232,20 +287,32 @@ func RunPairStudy(opt Options) (*PairStudy, error) {
 		s.Results[w.Name()] = map[string]*RunResult{}
 		for _, p := range w.Programs {
 			if _, ok := s.Baselines[p.Name]; !ok {
-				base, err := SerialBaseline(p, opt)
+				base, err := SerialBaselineContext(ctx, p, opt)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				s.Baselines[p.Name] = base.WallCycles
 			}
 		}
 		for _, cfg := range s.Configs {
-			res, err := Run(w, cfg, opt)
+			res, err := RunContext(ctx, w, cfg, opt)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			s.Results[w.Name()][cfg.Name] = res
 		}
+	}
+	return nil
+}
+
+// RunPairStudy executes the Figure-4 workloads under every configuration.
+//
+// Deprecated: use NewPairStudy and the Study interface (s.Run(ctx, opt)),
+// which adds cancellation; this wrapper remains for existing callers.
+func RunPairStudy(opt Options) (*PairStudy, error) {
+	s := NewPairStudy()
+	if err := s.Run(context.Background(), opt); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -278,7 +345,12 @@ type CrossStudy struct {
 	Boxes   map[string]stats.BoxPlot
 	// PairSpeedups[cfgName][pairName] lists the two program speedups.
 	PairSpeedups map[string]map[string][]float64
+
+	opt Options // the Options Run executed under; Artifacts stamps from it
 }
+
+// NewCrossStudy returns an empty all-pairs study; Run populates it.
+func NewCrossStudy() *CrossStudy { return &CrossStudy{} }
 
 // CrossPairs returns the unordered benchmark pairs (with replacement) of
 // the studied set, in deterministic order.
@@ -294,28 +366,30 @@ func CrossPairs() ([][2]string, error) {
 	return out, nil
 }
 
-// RunCrossStudy executes the full cross-product.
-func RunCrossStudy(opt Options) (*CrossStudy, error) {
+// Run executes the full cross-product, stopping between cells when ctx is
+// canceled.
+func (s *CrossStudy) Run(ctx context.Context, opt Options) error {
+	ctx, sp := obs.StartSpan(ctx, "study", "name", "cross")
+	defer sp.End()
 	pairs, err := CrossPairs()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	s := &CrossStudy{
-		Configs:      config.Multithreaded(),
-		Samples:      map[string][]float64{},
-		Boxes:        map[string]stats.BoxPlot{},
-		PairSpeedups: map[string]map[string][]float64{},
-	}
+	s.opt = opt
+	s.Configs = config.Multithreaded()
+	s.Samples = map[string][]float64{}
+	s.Boxes = map[string]stats.BoxPlot{}
+	s.PairSpeedups = map[string]map[string][]float64{}
 	opt.Progress.AddTotal(len(profiles.StudiedNames()))
 	baselines := map[string]int64{}
 	for _, name := range profiles.StudiedNames() {
 		p, err := profiles.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base, err := SerialBaseline(p, opt)
+		base, err := SerialBaselineContext(ctx, p, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		baselines[name] = base.WallCycles
 	}
@@ -333,7 +407,7 @@ func RunCrossStudy(opt Options) (*CrossStudy, error) {
 	}
 	opt.Progress.AddTotal(len(jobs))
 	var mu sync.Mutex
-	err = forEachJob(len(jobs), opt.Workers, func(i int) error {
+	err = forEachJob(ctx, len(jobs), opt.Workers, func(ctx context.Context, i int) error {
 		j := jobs[i]
 		a, err := profiles.ByName(j.pair[0])
 		if err != nil {
@@ -343,7 +417,7 @@ func RunCrossStudy(opt Options) (*CrossStudy, error) {
 		if err != nil {
 			return err
 		}
-		res, err := Run(Pair(a, b), j.cfg, opt)
+		res, err := RunContext(ctx, Pair(a, b), j.cfg, opt)
 		if err != nil {
 			return err
 		}
@@ -357,7 +431,7 @@ func RunCrossStudy(opt Options) (*CrossStudy, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Deterministic sample order: pairs in CrossPairs order per config.
 	for _, cfg := range s.Configs {
@@ -366,9 +440,21 @@ func RunCrossStudy(opt Options) (*CrossStudy, error) {
 		}
 		box, err := stats.Box(s.Samples[cfg.Name])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.Boxes[cfg.Name] = box
+	}
+	return nil
+}
+
+// RunCrossStudy executes the full cross-product.
+//
+// Deprecated: use NewCrossStudy and the Study interface (s.Run(ctx, opt)),
+// which adds cancellation; this wrapper remains for existing callers.
+func RunCrossStudy(opt Options) (*CrossStudy, error) {
+	s := NewCrossStudy()
+	if err := s.Run(context.Background(), opt); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -11,10 +11,11 @@ import (
 // Exporter sits next to the text renderers in render.go: every study that
 // can draw itself as tables can also serialize itself as golden regression
 // artifacts, so each figure has a machine-readable twin that -check can
-// diff against testdata/golden. Artifacts take the Options the study ran
-// under so provenance (scale, seed) is stamped from the same values.
+// diff against testdata/golden. Provenance (scale, seed) is stamped from
+// the Options the study's Run stored, so it can never disagree with the
+// values the cells were actually computed under.
 type Exporter interface {
-	Artifacts(opt Options) ([]*golden.Artifact, error)
+	Artifacts() ([]*golden.Artifact, error)
 }
 
 // derivedEps is the relative tolerance for float-derived metrics (miss
@@ -41,7 +42,7 @@ func counterID(bench, cfg, event string) string {
 // "single-counters" (raw event counts and cycle totals, exact),
 // "figure2" (the nine derived panels), "figure3" (speedups over serial)
 // and "table2" (average speedup per architecture).
-func (s *SingleStudy) Artifacts(opt Options) ([]*golden.Artifact, error) {
+func (s *SingleStudy) Artifacts() ([]*golden.Artifact, error) {
 	raw := golden.New("single-counters", golden.Exact())
 	raw.Note = "raw performance counters per (benchmark, configuration) cell; deterministic, matched exactly"
 	for _, bn := range s.Benchmarks {
@@ -107,13 +108,13 @@ func (s *SingleStudy) Artifacts(opt Options) ([]*golden.Artifact, error) {
 		t2.Add(string(a)+"/avg_speedup", avg[a])
 	}
 
-	return []*golden.Artifact{stamp(raw, opt), stamp(fig2, opt), stamp(fig3, opt), stamp(t2, opt)}, nil
+	return []*golden.Artifact{stamp(raw, s.opt), stamp(fig2, s.opt), stamp(fig3, s.opt), stamp(t2, s.opt)}, nil
 }
 
 // Artifacts serializes the fixed-pair study as "figure4": per program
 // instance per workload the nine panels and the multiprogrammed speedup,
 // plus the exact wall cycles of every pair run and serial baseline.
-func (s *PairStudy) Artifacts(opt Options) ([]*golden.Artifact, error) {
+func (s *PairStudy) Artifacts() ([]*golden.Artifact, error) {
 	a := golden.New("figure4", golden.Relative(derivedEps))
 	a.Note = "Figure 4 — fixed multi-programmed pairs (CG/FT, FT/FT, CG/CG)"
 	// s.Baselines is a map; walk workloads for deterministic order.
@@ -150,13 +151,13 @@ func (s *PairStudy) Artifacts(opt Options) ([]*golden.Artifact, error) {
 			}
 		}
 	}
-	return []*golden.Artifact{stamp(a, opt)}, nil
+	return []*golden.Artifact{stamp(a, s.opt)}, nil
 }
 
 // Artifacts serializes the all-pairs study as "figure5": every per-program
 // speedup of every pair on every configuration, plus the box-plot summary
 // the figure draws.
-func (s *CrossStudy) Artifacts(opt Options) ([]*golden.Artifact, error) {
+func (s *CrossStudy) Artifacts() ([]*golden.Artifact, error) {
 	pairs, err := CrossPairs()
 	if err != nil {
 		return nil, err
@@ -182,5 +183,5 @@ func (s *CrossStudy) Artifacts(opt Options) ([]*golden.Artifact, error) {
 		a.Add(base+"max", box.Max)
 		a.AddTol(base+"n", float64(box.N), golden.Exact())
 	}
-	return []*golden.Artifact{stamp(a, opt)}, nil
+	return []*golden.Artifact{stamp(a, s.opt)}, nil
 }

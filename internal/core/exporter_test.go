@@ -13,7 +13,8 @@ func fabricatedArtifacts(t *testing.T) []*golden.Artifact {
 	opt := DefaultOptions()
 	opt.Scale = 0.5
 	opt.Seed = 3
-	arts, err := s.Artifacts(opt)
+	s.opt = opt
+	arts, err := s.Artifacts()
 	if err != nil {
 		t.Fatal(err)
 	}

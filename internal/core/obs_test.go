@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xeonomp/internal/journal"
+	"xeonomp/internal/obs"
+	"xeonomp/internal/runcache"
+)
+
+// TestCachedRerunMetricsHitRate pins the -metrics-out contract end to
+// end: a warm rerun over a populated cache serves every cell from cache,
+// and the metrics snapshot proves it — computed cells zero, cached cells
+// equal to the run's total, every serve a memory hit.
+func TestCachedRerunMetricsHitRate(t *testing.T) {
+	opt := quickOptions()
+	var err error
+	opt.Cache, err = runcache.New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Default.Reset()
+	if err := NewSingleStudy().Run(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	cold := obs.Default.Snapshot()
+	if cold.Counters[obs.MetricCoreCellsComputed] == 0 {
+		t.Fatal("cold run computed no cells")
+	}
+
+	obs.Default.Reset()
+	if err := NewSingleStudy().Run(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.Default.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	computed := snap.Counters[obs.MetricCoreCellsComputed]
+	cached := snap.Counters[obs.MetricCoreCellsCached]
+	if computed != 0 || cached == 0 {
+		t.Fatalf("warm rerun computed %d cells, served %d; want hit rate 1.0", computed, cached)
+	}
+	if hits := snap.Counters[obs.MetricRuncacheMemHits]; hits != cached {
+		t.Fatalf("memory hits %d != cells served %d", hits, cached)
+	}
+	if snap.Histograms[obs.MetricCoreCellNs].Count != cached {
+		t.Fatalf("cell latency histogram saw %d cells, want %d", snap.Histograms[obs.MetricCoreCellNs].Count, cached)
+	}
+}
+
+// TestObsOverhead pins the observability tax with tracing off: the
+// per-cell instrumentation bundle — span start/end against a nil tracer,
+// pprof labels, timers, counters, histogram — measured hot, must cost
+// under 2% of a real study's wall time per cell.
+func TestObsOverhead(t *testing.T) {
+	obs.SetTracer(nil)
+	ctx := context.Background()
+	const reps = 100_000
+	bt := obs.StartTimer()
+	for i := 0; i < reps; i++ {
+		sctx, sp := obs.StartSpan(ctx, "cell", "benchmark", "CG", "config", "CMT")
+		tm := obs.StartTimer()
+		obs.DoCell(sctx, "CG", "CMT", func(context.Context) {})
+		obsCellNs.Observe(tm.ElapsedNs())
+		obsCellsComputed.Inc()
+		obsWorkers.Set(1)
+		sp.SetArg("cached", "false")
+		sp.End()
+	}
+	perCell := float64(bt.ElapsedNs()) / reps
+
+	obs.Default.Reset()
+	st := obs.StartTimer()
+	if _, err := RunSingleStudy(quickOptions()); err != nil {
+		t.Fatal(err)
+	}
+	wall := float64(st.ElapsedNs())
+	snap := obs.Default.Snapshot()
+	cells := float64(snap.Counters[obs.MetricCoreCellsComputed] + snap.Counters[obs.MetricCoreCellsCached])
+	if cells == 0 || wall <= 0 {
+		t.Fatalf("degenerate measurement: %v cells in %v ns", cells, wall)
+	}
+	overhead := perCell * cells / wall
+	if overhead > 0.02 {
+		t.Fatalf("instrumentation overhead %.4f (%.0f ns/cell over %d cells, study %.0f ns); budget is 2%%",
+			overhead, perCell, int(cells), wall)
+	}
+}
+
+func TestForEachJobHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := forEachJob(ctx, 10, 1, func(_ context.Context, i int) error {
+		calls++
+		if i == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times after cancellation at job 1", calls)
+	}
+
+	// Parallel path: workers drain remaining jobs without running them.
+	pctx, pcancel := context.WithCancel(context.Background())
+	pcancel()
+	ran := 0
+	err = forEachJob(pctx, 1000, 4, func(_ context.Context, i int) error {
+		ran++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d jobs ran under a pre-cancelled context", ran)
+	}
+}
+
+// cancelOnWrite cancels a context the first time anything is written —
+// wired into the progress reporter, it cancels the study right after the
+// first cell completes, simulating Ctrl-C mid-run.
+type cancelOnWrite struct{ cancel context.CancelFunc }
+
+func (w cancelOnWrite) Write(p []byte) (int, error) {
+	w.cancel()
+	return len(p), nil
+}
+
+// TestStudyCancellationLeavesReplayableJournal pins the Ctrl-C contract:
+// cancelling mid-study stops between cells with context.Canceled, and the
+// journal tail stays clean — every recorded cell replays into a resumed
+// run that completes the study.
+func TestStudyCancellationLeavesReplayableJournal(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "run.jsonl")
+	jn, err := journal.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := quickOptions()
+	opt.Journal = jn
+	opt.Progress = journal.NewProgress(cancelOnWrite{cancel}, time.Nanosecond)
+
+	err = NewSingleStudy().Run(ctx, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted study returned %v, want context.Canceled", err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replay, err := journal.Open(jpath)
+	if err != nil {
+		t.Fatalf("journal did not reopen after interruption: %v", err)
+	}
+	defer replay.Close()
+	recorded := replay.Len()
+	if recorded == 0 {
+		t.Fatal("no cells recorded before cancellation")
+	}
+
+	obs.Default.Reset()
+	resOpt := quickOptions()
+	resOpt.Journal = replay
+	if err := NewSingleStudy().Run(context.Background(), resOpt); err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	snap := obs.Default.Snapshot()
+	if served := snap.Counters[obs.MetricJournalReplayServes]; served == 0 {
+		t.Fatalf("resumed run replayed nothing from %d recorded cells", recorded)
+	}
+}

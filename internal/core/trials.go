@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"xeonomp/internal/config"
+	"xeonomp/internal/obs"
 	"xeonomp/internal/stats"
 )
 
@@ -23,9 +25,17 @@ type TrialSet struct {
 // RunTrials executes n independent trials of workload w under cfg, varying
 // the seed from opt.Seed upward.
 func RunTrials(w Workload, cfg config.Configuration, opt Options, n int) (*TrialSet, error) {
+	return RunTrialsContext(context.Background(), w, cfg, opt, n)
+}
+
+// RunTrialsContext is RunTrials with cancellation between trials and a
+// "trials" trace span covering the whole set.
+func RunTrialsContext(ctx context.Context, w Workload, cfg config.Configuration, opt Options, n int) (*TrialSet, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: trial count %d", n)
 	}
+	ctx, sp := obs.StartSpan(ctx, "trials", "workload", w.Name(), "config", cfg.Name)
+	defer sp.End()
 	ts := &TrialSet{
 		Workload:   w.Name(),
 		Config:     cfg.Name,
@@ -35,7 +45,7 @@ func RunTrials(w Workload, cfg config.Configuration, opt Options, n int) (*Trial
 	for i := 0; i < n; i++ {
 		o := opt
 		o.Seed = opt.Seed + uint64(i)*1_000_003
-		res, err := Run(w, cfg, o)
+		res, err := RunContext(ctx, w, cfg, o)
 		if err != nil {
 			return nil, fmt.Errorf("core: trial %d: %w", i, err)
 		}

@@ -18,6 +18,17 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"xeonomp/internal/obs"
+)
+
+// Process-wide observability series (see internal/obs): append volume and
+// latency, cells replayed at Open, and replay-map serves.
+var (
+	obsAppends      = obs.NewCounter(obs.MetricJournalAppends)
+	obsAppendNs     = obs.NewHistogram(obs.MetricJournalAppendNs)
+	obsReplayed     = obs.NewCounter(obs.MetricJournalReplayed)
+	obsReplayServes = obs.NewCounter(obs.MetricJournalReplayServes)
 )
 
 // Entry is one journal line: a completed cell. Key is the runcache
@@ -64,6 +75,7 @@ func Open(path string) (*Journal, error) {
 			continue
 		}
 		j.replayed[e.Key] = append(json.RawMessage(nil), e.Result...)
+		obsReplayed.Inc()
 	}
 	if err := sc.Err(); err != nil {
 		_ = f.Close() // the scan error is the one worth reporting
@@ -104,6 +116,9 @@ func (j *Journal) Replayed(key string) ([]byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	p, ok := j.replayed[key]
+	if ok {
+		obsReplayServes.Inc()
+	}
 	return p, ok
 }
 
@@ -134,6 +149,9 @@ func (j *Journal) Append(key, cell string, result []byte) error {
 	if j == nil {
 		return nil
 	}
+	t := obs.StartTimer()
+	defer obsAppendNs.ObserveSince(t)
+	obsAppends.Inc()
 	e := Entry{Key: key, Cell: cell, Result: result}
 	line, err := json.Marshal(e)
 	if err != nil {

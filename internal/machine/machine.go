@@ -16,9 +16,18 @@ import (
 	"xeonomp/internal/cache"
 	"xeonomp/internal/counters"
 	"xeonomp/internal/cpu"
+	"xeonomp/internal/obs"
 	"xeonomp/internal/prefetch"
 	"xeonomp/internal/tlb"
 	"xeonomp/internal/units"
+)
+
+// Process-wide observability series (see internal/obs): cycle-engine
+// throughput, for judging simulator speed from a -metrics-out snapshot.
+var (
+	obsRuns        = obs.NewCounter(obs.MetricMachineRuns)
+	obsCycles      = obs.NewCounter(obs.MetricMachineCycles)
+	obsCyclesPerWs = obs.NewGauge(obs.MetricMachineCyclesPerWs)
 )
 
 // Config describes a full machine.
@@ -283,6 +292,14 @@ var ErrCycleLimit = errors.New("machine: cycle limit exceeded")
 // until limit cycles have elapsed (limit <= 0 means no limit). It returns
 // the cycle count at completion.
 func (m *Machine) Run(limit int64) (int64, error) {
+	obsRuns.Inc()
+	t := obs.StartTimer()
+	startClock := m.clock
+	defer func() {
+		advanced := m.clock - startClock
+		obsCycles.Add(uint64(advanced))
+		obsCyclesPerWs.Set(t.Rate(advanced))
+	}()
 	for {
 		if m.allDone() {
 			return m.clock, nil

@@ -1,0 +1,36 @@
+package obs
+
+// Metric names, one constant per registered series. The counterparity
+// analyzer (internal/analysis) requires every Metric* constant here to
+// appear at a NewCounter/NewGauge/NewHistogram registration site
+// somewhere in the module, so a series can never silently stop being
+// collected; the full table with meanings lives in ARCHITECTURE.md
+// ("Observability").
+const (
+	// Run-cache traffic (internal/runcache) — mirrors runcache.Stats so
+	// cached CLI reruns can assert hit rates from -metrics-out alone.
+	MetricRuncacheMemHits    = "runcache.mem_hits"
+	MetricRuncacheDiskHits   = "runcache.disk_hits"
+	MetricRuncacheMisses     = "runcache.misses"
+	MetricRuncacheEvictions  = "runcache.evictions"
+	MetricRuncacheDiskErrors = "runcache.disk_errors"
+	MetricRuncacheLookupNs   = "runcache.lookup_ns"
+
+	// Run-journal activity (internal/journal).
+	MetricJournalAppends      = "journal.appends"
+	MetricJournalAppendNs     = "journal.append_ns"
+	MetricJournalReplayed     = "journal.replayed_cells"
+	MetricJournalReplayServes = "journal.replay_serves"
+
+	// Cycle-engine throughput (internal/machine).
+	MetricMachineRuns        = "machine.runs"
+	MetricMachineCycles      = "machine.cycles_total"
+	MetricMachineCyclesPerWs = "machine.cycles_per_wall_second"
+
+	// Experiment engine (internal/core).
+	MetricCoreCellsComputed = "core.cells_computed"
+	MetricCoreCellsCached   = "core.cells_cached"
+	MetricCoreCellNs        = "core.cell_ns"
+	MetricCoreWorkers       = "core.workers"
+	MetricCoreWorkerUtil    = "core.worker_utilization"
+)

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g")
+	if g.Value() != 0 {
+		t.Fatalf("unset gauge = %v, want 0", g.Value())
+	}
+	g.Set(0.75)
+	g.Set(1.5)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want last write 1.5", g.Value())
+	}
+}
+
+// Bucket i holds exactly the positive values with bit length i, so each
+// power of two starts a new bucket and its upper bound is 2^i - 1.
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for _, v := range []int64{-3, 0, 1, 2, 3, 4, 7, 8, 1023} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
+	}
+	if h.Sum() != -3+0+1+2+3+4+7+8+1023 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	snap := r.Snapshot().Histograms["h"]
+	want := []HistogramBucket{
+		{UpperBound: 0, N: 2},    // -3, 0
+		{UpperBound: 1, N: 1},    // 1
+		{UpperBound: 3, N: 2},    // 2, 3
+		{UpperBound: 7, N: 2},    // 4, 7
+		{UpperBound: 15, N: 1},   // 8
+		{UpperBound: 1023, N: 1}, // 1023
+	}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", snap.Buckets, want)
+	}
+	for i, b := range snap.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("re-registering a counter returned a new instance")
+	}
+	if r.Gauge("y") != r.Gauge("y") {
+		t.Fatal("re-registering a gauge returned a new instance")
+	}
+	if r.Histogram("z") != r.Histogram("z") {
+		t.Fatal("re-registering a histogram returned a new instance")
+	}
+}
+
+func TestRegistryKindMixingPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("name")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("name")
+}
+
+// Two registries populated in opposite orders with equal state must
+// marshal byte-identically: the diff-stable property -metrics-out
+// promises.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	names := []string{"z.last", "a.first", "m.mid"}
+	for _, n := range names {
+		a.Counter(n).Add(7)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		b.Counter(names[i]).Add(7)
+	}
+	a.Gauge("util").Set(0.5)
+	b.Gauge("util").Set(0.5)
+	a.Histogram("lat").Observe(100)
+	b.Histogram("lat").Observe(100)
+
+	var ab, bb bytes.Buffer
+	if err := a.WriteJSON(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Fatalf("registration order changed the snapshot:\n%s\nvs\n%s", ab.String(), bb.String())
+	}
+	var parsed Snapshot
+	if err := json.Unmarshal(ab.Bytes(), &parsed); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if parsed.Counters["a.first"] != 7 || parsed.Gauges["util"] != 0.5 {
+		t.Fatalf("round-tripped snapshot lost values: %+v", parsed)
+	}
+}
+
+func TestResetKeepsInstrumentsLive(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	c.Add(3)
+	h.Observe(9)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("reset left state: counter %d, hist count %d sum %d", c.Value(), h.Count(), h.Sum())
+	}
+	c.Inc() // the pre-reset pointer still feeds the registry
+	if r.Snapshot().Counters["c"] != 1 {
+		t.Fatal("pre-reset instrument pointer detached from registry")
+	}
+}
+
+func TestTimerEdgeCases(t *testing.T) {
+	var zero Timer
+	if zero.ElapsedNs() != 0 {
+		t.Fatalf("zero timer elapsed = %d, want 0", zero.ElapsedNs())
+	}
+	if zero.Rate(100) != 0 {
+		t.Fatalf("rate on zero timer = %v, want 0", zero.Rate(100))
+	}
+	if zero.Utilization(100, 2) != 0 {
+		t.Fatalf("utilization on zero timer = %v, want 0", zero.Utilization(100, 2))
+	}
+	tm := StartTimer()
+	if tm.ElapsedNs() < 0 {
+		t.Fatal("running timer went backwards")
+	}
+	if tm.Utilization(0, 4) != 0 || tm.Utilization(100, 0) != 0 {
+		t.Fatal("degenerate utilization inputs must yield 0")
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	SetTracer(nil)
+	ctx := context.Background()
+	got, sp := StartSpan(ctx, "noop")
+	if got != ctx {
+		t.Fatal("tracing off must return ctx unchanged")
+	}
+	if sp != nil {
+		t.Fatal("tracing off must return a nil span")
+	}
+	sp.SetArg("k", "v") // must not panic
+	sp.End()
+	var nilTracer *Tracer
+	if nilTracer.Len() != 0 {
+		t.Fatal("nil tracer has spans")
+	}
+	var buf bytes.Buffer
+	if err := nilTracer.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil tracer wrote %q", buf.String())
+	}
+}
+
+// Concurrent workers emitting nested spans on distinct lanes must produce
+// one valid Chrome trace: every span present, ids unique, children linked
+// to their parents, lanes preserved as tids, events sorted by timestamp.
+func TestConcurrentSpanEmission(t *testing.T) {
+	tr := NewTracer()
+	SetTracer(tr)
+	t.Cleanup(func() { SetTracer(nil) })
+
+	const workers, spansPer = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			ctx := WithLane(context.Background(), lane)
+			for i := 0; i < spansPer; i++ {
+				pctx, parent := StartSpan(ctx, "outer", "lane", fmt.Sprint(lane))
+				_, child := StartSpan(pctx, "inner")
+				child.End()
+				parent.End()
+			}
+		}(w + 1)
+	}
+	wg.Wait()
+
+	if tr.Len() != workers*spansPer*2 {
+		t.Fatalf("tracer holds %d spans, want %d", tr.Len(), workers*spansPer*2)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+	ids := map[string]bool{}
+	byID := map[string]int{} // span_id -> tid, for parent linking
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" || ev.Pid != 1 {
+			t.Fatalf("event %+v is not a pid-1 complete event", ev)
+		}
+		if ev.Tid < 1 || ev.Tid > workers {
+			t.Fatalf("event on lane %d, want 1..%d", ev.Tid, workers)
+		}
+		id := ev.Args["span_id"]
+		if id == "" || ids[id] {
+			t.Fatalf("missing or duplicate span_id %q", id)
+		}
+		ids[id] = true
+		byID[id] = ev.Tid
+	}
+	linked := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Name != "inner" {
+			continue
+		}
+		parent := ev.Args["parent_id"]
+		if parent == "" {
+			t.Fatal("inner span has no parent_id")
+		}
+		if byID[parent] != ev.Tid {
+			t.Fatalf("child on lane %d, parent %q on lane %d", ev.Tid, parent, byID[parent])
+		}
+		linked++
+	}
+	if linked != workers*spansPer {
+		t.Fatalf("%d linked children, want %d", linked, workers*spansPer)
+	}
+	for i := 1; i < len(tf.TraceEvents); i++ {
+		if tf.TraceEvents[i].Ts < tf.TraceEvents[i-1].Ts {
+			t.Fatal("trace events are not sorted by start time")
+		}
+	}
+}
+
+// DoCell must run f under the benchmark/configuration pprof labels so
+// samples group by grid cell in profiles.
+func TestDoCellAppliesLabels(t *testing.T) {
+	var bench, config string
+	DoCell(context.Background(), "CG", "CMT-8-2", func(ctx context.Context) {
+		bench, _ = pprof.Label(ctx, "benchmark")
+		config, _ = pprof.Label(ctx, "config")
+	})
+	if bench != "CG" || config != "CMT-8-2" {
+		t.Fatalf("labels = %q/%q, want CG/CMT-8-2", bench, config)
+	}
+}

@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// DoCell runs f with pprof labels attributing the goroutine's CPU samples
+// to one simulation cell, so a -cpuprofile capture can be sliced by
+// benchmark and configuration (go tool pprof -tagfocus / Flame graph
+// grouping). Labels propagate to goroutines started inside f.
+//
+// Labels are set unconditionally: they cost one small allocation per cell
+// — invisible next to the millions of simulated cycles behind it — and
+// keeping them on means any externally attached profiler sees attributed
+// samples without a restart.
+func DoCell(ctx context.Context, benchmark, config string, f func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels("benchmark", benchmark, "config", config), f)
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects completed spans and renders them as Chrome trace_event
+// JSON ("X" complete events), loadable in chrome://tracing and Perfetto.
+// It is safe for concurrent use; a nil *Tracer (the default — tracing is
+// off unless a CLI passed -trace-out) makes StartSpan return a nil Span
+// whose methods are no-ops, so instrumentation stays compiled in at no
+// cost.
+type Tracer struct {
+	start  time.Time
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// NewTracer returns an empty tracer; its clock zero is now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// tracer is the process-wide tracer; nil means tracing is off.
+var tracer atomic.Pointer[Tracer]
+
+// SetTracer installs (or, with nil, removes) the process-wide tracer
+// StartSpan uses.
+func SetTracer(t *Tracer) { tracer.Store(t) }
+
+// CurrentTracer returns the installed tracer, or nil when tracing is off.
+func CurrentTracer() *Tracer { return tracer.Load() }
+
+// Span is one in-flight operation. Spans form a tree through context:
+// StartSpan links the new span to the span already in ctx as its parent.
+// A nil *Span (tracing off) accepts every method as a no-op.
+type Span struct {
+	t      *Tracer
+	name   string
+	id     uint64
+	parent uint64 // 0 = root
+	lane   int
+	start  time.Time
+
+	mu   sync.Mutex
+	args map[string]string
+}
+
+type ctxKey int
+
+const (
+	ctxKeySpan ctxKey = iota
+	ctxKeyLane
+)
+
+// WithLane pins the trace track ("tid" in the Chrome JSON) for spans
+// started under ctx. Study drivers give each worker goroutine its own
+// lane, so concurrent cells render as parallel tracks instead of
+// overlapping on one.
+func WithLane(ctx context.Context, lane int) context.Context {
+	return context.WithValue(ctx, ctxKeyLane, lane)
+}
+
+// laneOf returns the lane pinned in ctx, or 0.
+func laneOf(ctx context.Context) int {
+	if v, ok := ctx.Value(ctxKeyLane).(int); ok {
+		return v
+	}
+	return 0
+}
+
+// spanOf returns the span in ctx, or nil.
+func spanOf(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKeySpan).(*Span)
+	return s
+}
+
+// StartSpan begins a span named name under the process tracer, recording
+// the span in ctx (so descendants link to it) and any initial key/value
+// argument pairs. With tracing off it returns ctx unchanged and a nil
+// span: two pointer loads and no allocation.
+func StartSpan(ctx context.Context, name string, kv ...string) (context.Context, *Span) {
+	t := tracer.Load()
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		t:     t,
+		name:  name,
+		id:    t.nextID.Add(1),
+		lane:  laneOf(ctx),
+		start: time.Now(),
+	}
+	if parent := spanOf(ctx); parent != nil {
+		s.parent = parent.id
+	}
+	if len(kv) > 0 {
+		s.args = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			s.args[kv[i]] = kv[i+1]
+		}
+	}
+	return context.WithValue(ctx, ctxKeySpan, s), s
+}
+
+// SetArg attaches (or overwrites) one key/value argument on the span.
+func (s *Span) SetArg(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.args == nil {
+		s.args = map[string]string{}
+	}
+	s.args[k] = v
+}
+
+// End completes the span and hands it to the tracer. Calling End twice
+// records the span twice; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	args := make(map[string]string, len(s.args)+2)
+	for k, v := range s.args {
+		args[k] = v
+	}
+	s.mu.Unlock()
+	args["span_id"] = fmt.Sprintf("%d", s.id)
+	if s.parent != 0 {
+		args["parent_id"] = fmt.Sprintf("%d", s.parent)
+	}
+	ev := traceEvent{
+		Name: s.name,
+		Ph:   "X",
+		Ts:   float64(s.start.Sub(s.t.start)) / float64(time.Microsecond),
+		Dur:  float64(end.Sub(s.start)) / float64(time.Microsecond),
+		Pid:  1,
+		Tid:  s.lane,
+		Args: args,
+	}
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, ev)
+	s.t.mu.Unlock()
+}
+
+// traceEvent is one Chrome trace_event entry. Ts and Dur are in
+// microseconds, the unit the format specifies.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object format of a Chrome trace.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Len returns the number of completed spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteTrace writes every completed span as Chrome trace_event JSON.
+// Events are sorted by start time (then span id), which keeps parent
+// events ahead of their children for viewers that rely on file order.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		return events[i].Args["span_id"] < events[j].Args["span_id"]
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	return nil
+}

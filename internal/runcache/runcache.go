@@ -30,8 +30,22 @@ import (
 
 	"xeonomp/internal/config"
 	"xeonomp/internal/machine"
+	"xeonomp/internal/obs"
 	"xeonomp/internal/profiles"
 	"xeonomp/internal/sched"
+)
+
+// Process-wide observability series (see internal/obs): the Stats the
+// progress reporter prints, mirrored into the metric registry so a
+// -metrics-out snapshot carries cache traffic, plus a lookup-latency
+// histogram the in-struct Stats cannot express.
+var (
+	obsMemHits    = obs.NewCounter(obs.MetricRuncacheMemHits)
+	obsDiskHits   = obs.NewCounter(obs.MetricRuncacheDiskHits)
+	obsMisses     = obs.NewCounter(obs.MetricRuncacheMisses)
+	obsEvictions  = obs.NewCounter(obs.MetricRuncacheEvictions)
+	obsDiskErrors = obs.NewCounter(obs.MetricRuncacheDiskErrors)
+	obsLookupNs   = obs.NewHistogram(obs.MetricRuncacheLookupNs)
 )
 
 // Key is the complete plain-data identity of one simulation cell. Two runs
@@ -146,27 +160,33 @@ func (c *Cache) Get(hash string) ([]byte, bool) {
 	if c == nil {
 		return nil, false
 	}
+	t := obs.StartTimer()
+	defer obsLookupNs.ObserveSince(t)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[hash]; ok {
 		c.ll.MoveToFront(el)
 		c.stats.MemHits++
+		obsMemHits.Inc()
 		return el.Value.(*entry).payload, true
 	}
 	if c.dir != "" {
 		payload, err := c.loadDisk(hash)
 		if err == nil && payload != nil {
 			c.stats.DiskHits++
+			obsDiskHits.Inc()
 			c.insertLocked(hash, payload)
 			return payload, true
 		}
 		if err != nil {
 			// Corrupted or unreadable: drop the entry and recompute.
 			c.stats.DiskErrors++
+			obsDiskErrors.Inc()
 			_ = os.Remove(c.path(hash)) // best effort; a stale entry only costs a recompute
 		}
 	}
 	c.stats.Misses++
+	obsMisses.Inc()
 	return nil, false
 }
 
@@ -220,6 +240,7 @@ func (c *Cache) insertLocked(hash string, payload []byte) {
 		c.ll.Remove(tail)
 		delete(c.items, tail.Value.(*entry).hash)
 		c.stats.Evictions++
+		obsEvictions.Inc()
 	}
 }
 
