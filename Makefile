@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench bench-cache check ci check-golden update-golden figures figures-cached lmbench ablations profile fmt vet lint lint-fix lint-fix-clean clean
+.PHONY: build test test-short race bench bench-cache bench-snapshot check ci check-golden update-golden figures figures-cached lmbench ablations profile fmt vet lint lint-fix lint-fix-clean clean
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,7 @@ ci:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) test -race -short ./...
 	$(MAKE) check-golden
+	$(MAKE) bench-snapshot
 
 # The paper-fidelity gate alone: rerun every study at the golden scale and
 # diff against the checked-in artifacts with their tolerance bands. The
@@ -85,6 +86,17 @@ update-golden:
 # Cold-vs-warm study time through the run cache (see internal/runcache).
 bench-cache:
 	$(GO) test -run '^$$' -bench 'BenchmarkStudyCache(Cold|Warm)' -benchtime=3x -benchmem
+
+# Raw-speed trajectory (see PERFORMANCE.md): measure simulator throughput
+# on the fixed cmd/benchsnap grid, write the fresh measurement to
+# bench-snapshot.json (CI uploads it as an artifact), and gate against the
+# newest checked-in BENCH_*.json — a >20% total cells/s regression fails.
+# To pin a new baseline after an intentional speed change:
+#   go run ./cmd/benchsnap -reps 5 -out BENCH_$$(date +%Y%m%d).json -date $$(date +%Y-%m-%d)
+BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -reps 5 -out bench-snapshot.json \
+		$(if $(BENCH_BASELINE),-check $(BENCH_BASELINE))
 
 # Regenerate every table and figure at full scale (~25 minutes cold; a
 # warm rerun against the same cache directory is mostly lookups).

@@ -287,6 +287,39 @@ func BenchmarkAblationNoSMTPartitioning(b *testing.B) {
 	}, nil)
 }
 
+// BenchmarkCell measures raw per-cell simulation speed for the cell kinds
+// the engine optimizations move: the memory-bound CG (dominated by cache
+// and bus model traffic) against the compute-bound EP (dominated by the
+// issue loop), each serial, with Hyper-Threading sharing one core, and
+// with two dedicated cores. cmd/benchsnap runs the same grid to produce
+// the BENCH_*.json trajectory; these benchmarks are the interactive view
+// (compare with benchstat across commits). The bytes/s column reads as
+// simulated instructions per second.
+func BenchmarkCell(b *testing.B) {
+	for _, bn := range []string{"CG", "EP"} {
+		prof, err := profiles.ByName(bn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cn := range []string{"Serial", "HT on -2-1", "HT off -2-2"} {
+			cfg, err := config.ByName(cn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", bn, cn), func(b *testing.B) {
+				opt := benchOptions(0.1)
+				b.SetBytes(int64(float64(prof.SerialInstr) * opt.Scale))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.RunSingle(prof, cfg, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // instructions per second for a serial CG run.
 func BenchmarkSimulatorThroughput(b *testing.B) {

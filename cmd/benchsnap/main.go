@@ -1,0 +1,255 @@
+// Command benchsnap measures raw simulator throughput on a fixed grid of
+// cell kinds and records it as a BENCH_*.json snapshot, the repo's
+// versioned performance trajectory (see PERFORMANCE.md).
+//
+// The grid crosses a memory-bound kernel (CG) with a compute-bound one
+// (EP) over serial, HT-shared-core, and dual-core configurations — the
+// axes the cycle-engine optimizations move. Each kind is simulated -reps
+// times after a warmup pass, and the snapshot records wall time, cells
+// per second, simulated cycles per wall second (from the internal/obs
+// machine counters), and allocations per cell.
+//
+//	benchsnap -out BENCH_20260808.json -date 2026-08-08
+//	benchsnap -check BENCH_20260808.json
+//
+// With -check, the freshly measured throughput is compared against the
+// named snapshot and the command exits nonzero if total cells/s regressed
+// by more than -threshold (default 20%), which is how CI gates engine
+// changes. -out and -check compose: measure once, write the new snapshot,
+// and judge it against the old one.
+//
+// Wall time is read through obs.StartTimer — the observability layer is
+// the tree's single clock-reading choke point — and never flows into
+// simulation results: a benchsnap snapshot describes the simulator, not
+// the simulated machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/core"
+	"xeonomp/internal/obs"
+	"xeonomp/internal/profiles"
+)
+
+// Kind is one cell of the measurement grid with its measured rates.
+type Kind struct {
+	Benchmark           string  `json:"benchmark"`
+	Config              string  `json:"config"`
+	Cells               int     `json:"cells"`
+	WallSeconds         float64 `json:"wall_seconds"`
+	CellsPerSecond      float64 `json:"cells_per_second"`
+	SimulatedCycles     uint64  `json:"simulated_cycles"`
+	CyclesPerWallSecond float64 `json:"cycles_per_wall_second"`
+	AllocsPerCell       float64 `json:"allocs_per_cell"`
+}
+
+// Snapshot is the on-disk BENCH_*.json schema. Totals aggregate the
+// kinds; the per-kind rows attribute a regression to memory-bound vs
+// compute-bound cells and to the HT-sharing axis.
+type Snapshot struct {
+	Schema              int     `json:"schema"`
+	Date                string  `json:"date,omitempty"`
+	GoVersion           string  `json:"go_version"`
+	Scale               float64 `json:"scale"`
+	Reps                int     `json:"reps"`
+	Cells               int     `json:"cells"`
+	WallSeconds         float64 `json:"wall_seconds"`
+	CellsPerSecond      float64 `json:"cells_per_second"`
+	CyclesPerWallSecond float64 `json:"cycles_per_wall_second"`
+	AllocsPerCell       float64 `json:"allocs_per_cell"`
+	Kinds               []Kind  `json:"kinds"`
+}
+
+// grid is the fixed measurement matrix. Changing it invalidates
+// comparisons against older snapshots, so extend it only alongside a
+// schema bump and a fresh checked-in baseline.
+var grid = []struct{ benchmark, config string }{
+	{"CG", "Serial"},
+	{"CG", "HT on -2-1"},
+	{"CG", "HT off -2-2"},
+	{"EP", "Serial"},
+	{"EP", "HT on -2-1"},
+	{"EP", "HT off -2-2"},
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the measured snapshot to this JSON file")
+		check     = flag.String("check", "", "compare against this snapshot; exit 1 on >threshold cells/s regression")
+		threshold = flag.Float64("threshold", 0.20, "allowed fractional cells/s regression for -check")
+		scale     = flag.Float64("scale", 0.1, "instruction-budget scale per cell")
+		reps      = flag.Int("reps", 3, "measured repetitions per grid kind (after one warmup)")
+		date      = flag.String("date", "", "date stamp recorded in the snapshot (e.g. 2026-08-08)")
+	)
+	flag.Parse()
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "benchsnap: -reps must be >= 1")
+		os.Exit(2)
+	}
+
+	snap, err := measure(*scale, *reps, *date)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("measured %d cells in %.2fs: %.2f cells/s, %.3g simulated cycles/wall-s, %.0f allocs/cell\n",
+		snap.Cells, snap.WallSeconds, snap.CellsPerSecond, snap.CyclesPerWallSecond, snap.AllocsPerCell)
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if *check != "" {
+		base, err := load(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		if err := compare(base, snap, *threshold, *check); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// measure runs the grid and aggregates the snapshot. One untimed warmup
+// pass populates the machine pool and run-once caches so the measured
+// reps see the steady state a study sees.
+func measure(scale float64, reps int, date string) (*Snapshot, error) {
+	opt := core.DefaultOptions()
+	opt.Scale = scale
+	cycles := obs.Default.Counter(obs.MetricMachineCycles)
+
+	snap := &Snapshot{
+		Schema:    1,
+		Date:      date,
+		GoVersion: runtime.Version(),
+		Scale:     scale,
+		Reps:      reps,
+	}
+	var totalNs int64
+	var totalAllocs float64
+	for _, g := range grid {
+		prof, err := profiles.ByName(g.benchmark)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := config.ByName(g.config)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := core.RunSingle(prof, cfg, opt); err != nil {
+			return nil, fmt.Errorf("warmup %s/%s: %w", g.benchmark, g.config, err)
+		}
+
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		cyc0 := cycles.Value()
+		t := obs.StartTimer()
+		for i := 0; i < reps; i++ {
+			if _, err := core.RunSingle(prof, cfg, opt); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", g.benchmark, g.config, err)
+			}
+		}
+		simCycles := cycles.Value() - cyc0
+		// The rate quotients go through obs.Timer.Rate, the sanctioned
+		// wall-over-simulated division (same as the engine's
+		// cycles_per_wall_second gauge).
+		cellsPerSec := t.Rate(int64(reps))
+		cyclesPerWs := t.Rate(int64(simCycles))
+		ns := t.ElapsedNs()
+		runtime.ReadMemStats(&ms1)
+		allocs := float64(ms1.Mallocs-ms0.Mallocs) / float64(reps)
+
+		snap.Kinds = append(snap.Kinds, Kind{
+			Benchmark:           g.benchmark,
+			Config:              g.config,
+			Cells:               reps,
+			WallSeconds:         time.Duration(ns).Seconds(),
+			CellsPerSecond:      cellsPerSec,
+			SimulatedCycles:     simCycles,
+			CyclesPerWallSecond: cyclesPerWs,
+			AllocsPerCell:       allocs,
+		})
+		snap.Cells += reps
+		totalNs += ns
+		totalAllocs += allocs * float64(reps)
+	}
+	snap.WallSeconds = time.Duration(totalNs).Seconds()
+	if snap.WallSeconds > 0 {
+		// Totals are wall-weighted combinations of the per-kind rates, so
+		// they stay consistent with the rows they aggregate.
+		var cellRate, cycRate float64
+		for _, k := range snap.Kinds {
+			cellRate += k.CellsPerSecond * k.WallSeconds
+			cycRate += k.CyclesPerWallSecond * k.WallSeconds
+		}
+		snap.CellsPerSecond = cellRate / snap.WallSeconds
+		snap.CyclesPerWallSecond = cycRate / snap.WallSeconds
+	}
+	if snap.Cells > 0 {
+		snap.AllocsPerCell = totalAllocs / float64(snap.Cells)
+	}
+	return snap, nil
+}
+
+func load(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d", path, s.Schema)
+	}
+	return &s, nil
+}
+
+// compare gates the fresh measurement against a baseline snapshot. Only
+// total cells/s is gating — per-kind rates at short scale are too noisy
+// to fail on individually — but every kind's delta is printed so a real
+// regression is attributable at a glance.
+func compare(base, cur *Snapshot, threshold float64, path string) error {
+	fmt.Printf("against %s (date %s, %.2f cells/s):\n", path, base.Date, base.CellsPerSecond)
+	byKey := make(map[string]Kind, len(base.Kinds))
+	for _, k := range base.Kinds {
+		byKey[k.Benchmark+"/"+k.Config] = k
+	}
+	for _, k := range cur.Kinds {
+		if b, ok := byKey[k.Benchmark+"/"+k.Config]; ok && b.CellsPerSecond > 0 {
+			fmt.Printf("  %-16s %8.2f -> %8.2f cells/s (%+.1f%%)\n",
+				k.Benchmark+"/"+k.Config, b.CellsPerSecond, k.CellsPerSecond,
+				100*(k.CellsPerSecond/b.CellsPerSecond-1))
+		}
+	}
+	if base.CellsPerSecond <= 0 {
+		return fmt.Errorf("%s: baseline has no cells/s to compare against", path)
+	}
+	ratio := cur.CellsPerSecond / base.CellsPerSecond
+	fmt.Printf("  total            %8.2f -> %8.2f cells/s (%+.1f%%), gate at -%.0f%%\n",
+		base.CellsPerSecond, cur.CellsPerSecond, 100*(ratio-1), 100*threshold)
+	if ratio < 1-threshold {
+		return fmt.Errorf("cells/s regressed %.1f%% (limit %.0f%%) vs %s",
+			100*(1-ratio), 100*threshold, path)
+	}
+	return nil
+}

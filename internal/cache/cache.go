@@ -76,18 +76,28 @@ func (c Config) Validate() error {
 	return nil
 }
 
-type way struct {
-	tag        uint64
-	valid      bool
-	dirty      bool
-	prefetched bool   // filled by the hardware prefetcher, not yet demanded
-	stamp      uint64 // LRU timestamp: larger = more recent
-}
+// Per-way state bits, kept in the flags array. Validity is not a flag:
+// empty ways hold invalidTag, so the hot tag scan needs no second load.
+const (
+	fDirty      uint8 = 1 << iota
+	fPrefetched       // filled by the hardware prefetcher, not yet demanded
+)
 
-// Cache is one set-associative cache instance.
+// invalidTag marks an empty way. Tags are addr>>lineShift with
+// lineShift ≥ 5, so no reachable address can produce it.
+const invalidTag = ^uint64(0)
+
+// Cache is one set-associative cache instance. Line state is kept
+// structure-of-arrays, set-major: the tag scan on the Lookup hot path then
+// walks one contiguous run of uint64s (a single hardware cache line for an
+// 8-way set) instead of striding through an array of structs, and the
+// sentinel tag for empty ways keeps the scan to that single array.
 type Cache struct {
 	cfg       Config
-	ways      []way // numSets * assoc, set-major
+	tags      []uint64 // numSets * assoc; invalidTag when the way is empty
+	stamps    []uint64 // LRU timestamps: larger = more recent
+	flags     []uint8  // fDirty | fPrefetched
+	assoc     uint64
 	numSets   uint64
 	lineShift uint
 	setMask   uint64
@@ -102,13 +112,21 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	numSets := uint64(cfg.Size / cfg.LineSize / int64(cfg.Assoc))
-	return &Cache{
+	n := numSets * uint64(cfg.Assoc)
+	c := &Cache{
 		cfg:       cfg,
-		ways:      make([]way, numSets*uint64(cfg.Assoc)),
+		tags:      make([]uint64, n),
+		stamps:    make([]uint64, n),
+		flags:     make([]uint8, n),
+		assoc:     uint64(cfg.Assoc),
 		numSets:   numSets,
 		lineShift: units.Log2(cfg.LineSize),
 		setMask:   numSets - 1,
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -122,10 +140,9 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 	return addr >> c.lineShift << c.lineShift
 }
 
-func (c *Cache) set(addr uint64) []way {
-	s := (addr >> c.lineShift) & c.setMask
-	base := s * uint64(c.cfg.Assoc)
-	return c.ways[base : base+uint64(c.cfg.Assoc)]
+// setBase returns the index of the first way of addr's set.
+func (c *Cache) setBase(addr uint64) uint64 {
+	return ((addr >> c.lineShift) & c.setMask) * c.assoc
 }
 
 // LookupResult reports the outcome of a demand access.
@@ -140,18 +157,21 @@ type LookupResult struct {
 // is unchanged; the caller is expected to resolve the miss and then Fill.
 func (c *Cache) Lookup(addr uint64, write bool) LookupResult {
 	tag := addr >> c.lineShift
-	set := c.set(addr)
+	base := c.setBase(addr)
 	c.clock++
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
-			w.stamp = c.clock
-			hp := w.prefetched
-			wd := w.dirty
-			w.prefetched = false
+	tags := c.tags[base : base+c.assoc]
+	for i := range tags {
+		if tags[i] == tag {
+			j := base + uint64(i)
+			f := c.flags[j]
+			c.stamps[j] = c.clock
+			hp := f&fPrefetched != 0
+			wd := f&fDirty != 0
+			f &^= fPrefetched
 			if write {
-				w.dirty = true
+				f |= fDirty
 			}
+			c.flags[j] = f
 			return LookupResult{Hit: true, HitPrefetched: hp, WasDirty: wd}
 		}
 	}
@@ -161,9 +181,10 @@ func (c *Cache) Lookup(addr uint64, write bool) LookupResult {
 // Probe reports whether addr is present without touching LRU state.
 func (c *Cache) Probe(addr uint64) bool {
 	tag := addr >> c.lineShift
-	set := c.set(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := c.setBase(addr)
+	tags := c.tags[base : base+c.assoc]
+	for i := range tags {
+		if tags[i] == tag {
 			return true
 		}
 	}
@@ -183,54 +204,63 @@ type FillResult struct {
 // upgrades dirtiness) without eviction.
 func (c *Cache) Fill(addr uint64, write, prefetch bool) FillResult {
 	tag := addr >> c.lineShift
-	set := c.set(addr)
+	base := c.setBase(addr)
 	c.clock++
 
 	// Already present: refresh. A demand fill clears the prefetched mark.
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
-			w.stamp = c.clock
+	for j := base; j < base+c.assoc; j++ {
+		if c.tags[j] == tag {
+			c.stamps[j] = c.clock
 			if write {
-				w.dirty = true
+				c.flags[j] |= fDirty
 			}
 			if !prefetch {
-				w.prefetched = false
+				c.flags[j] &^= fPrefetched
 			}
 			return FillResult{}
 		}
 	}
 
 	// Choose victim: an invalid way if any, else per the policy.
-	victim := -1
-	for i := range set {
-		if !set[i].valid {
-			victim = i
+	victim := uint64(0)
+	found := false
+	for j := base; j < base+c.assoc; j++ {
+		if c.tags[j] == invalidTag {
+			victim = j
+			found = true
 			break
 		}
 	}
-	if victim < 0 {
+	if !found {
 		switch c.cfg.Policy {
 		case Random:
 			c.rand = c.rand*6364136223846793005 + 1442695040888963407
-			victim = int((c.rand >> 33) % uint64(c.cfg.Assoc))
+			victim = base + (c.rand>>33)%c.assoc
 		default: // LRU
-			victim = 0
-			for i := range set {
-				if set[i].stamp < set[victim].stamp {
-					victim = i
+			victim = base
+			for j := base + 1; j < base+c.assoc; j++ {
+				if c.stamps[j] < c.stamps[victim] {
+					victim = j
 				}
 			}
 		}
 	}
-	w := &set[victim]
 	res := FillResult{}
-	if w.valid {
+	if c.tags[victim] != invalidTag {
 		res.Evicted = true
-		res.EvictedDirty = w.dirty
-		res.EvictedAddr = w.tag << c.lineShift
+		res.EvictedDirty = c.flags[victim]&fDirty != 0
+		res.EvictedAddr = c.tags[victim] << c.lineShift
 	}
-	*w = way{tag: tag, valid: true, dirty: write, prefetched: prefetch, stamp: c.clock}
+	c.tags[victim] = tag
+	c.stamps[victim] = c.clock
+	f := uint8(0)
+	if write {
+		f |= fDirty
+	}
+	if prefetch {
+		f |= fPrefetched
+	}
+	c.flags[victim] = f
 	return res
 }
 
@@ -238,31 +268,49 @@ func (c *Cache) Fill(addr uint64, write, prefetch bool) FillResult {
 // it was present and dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	tag := addr >> c.lineShift
-	set := c.set(addr)
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
-			present, dirty = true, w.dirty
-			*w = way{}
+	base := c.setBase(addr)
+	tags := c.tags[base : base+c.assoc]
+	for i := range tags {
+		if tags[i] == tag {
+			j := base + uint64(i)
+			present, dirty = true, c.flags[j]&fDirty != 0
+			c.tags[j] = invalidTag
+			c.stamps[j] = 0
+			c.flags[j] = 0
 			return
 		}
 	}
 	return
 }
 
-// Flush invalidates every line.
+// Flush invalidates every line. The LRU stamp clock and the Random-policy
+// RNG keep ticking: a flushed cache mid-experiment is empty but not
+// "new". Use Reset to return to power-on state.
 func (c *Cache) Flush() {
-	for i := range c.ways {
-		c.ways[i] = way{}
+	for i := range c.flags {
+		c.tags[i] = invalidTag
+		c.stamps[i] = 0
+		c.flags[i] = 0
 	}
+}
+
+// Reset restores power-on state: all lines invalid AND the internal LRU
+// stamp clock and Random-replacement RNG rewound to zero, so a recycled
+// Cache behaves bit-for-bit like one freshly built by New. Machine pooling
+// depends on this distinction — Flush alone would leave the Random policy's
+// victim sequence mid-stream.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.clock = 0
+	c.rand = 0
 }
 
 // ValidLines returns the number of valid lines, for tests and occupancy
 // reporting.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for i := range c.ways {
-		if c.ways[i].valid {
+	for _, t := range c.tags {
+		if t != invalidTag {
 			n++
 		}
 	}

@@ -72,6 +72,11 @@ type Options struct {
 	// Progress, when non-nil, receives cell-completion events for the
 	// stderr progress reporter (done/total, cache hit rate, ETA).
 	Progress *journal.Progress
+	// Reference runs the cycle engine through machine.RunReference — the
+	// un-optimized advancement loop — instead of machine.Run. Results are
+	// identical by contract (the equivalence tests pin this); the switch
+	// exists for those tests and for A/B benchmarking the engine.
+	Reference bool
 }
 
 // DefaultOptions returns full-scale options with the paper's platform.
@@ -161,8 +166,9 @@ func Run(w Workload, cfg config.Configuration, opt Options) (*RunResult, error) 
 }
 
 // RunContext executes workload w under configuration cfg and returns
-// per-program results. Every run uses a freshly built machine, mirroring
-// the paper's independent trials. When Options carries a run cache or
+// per-program results. Every run uses a machine in power-on state —
+// freshly built or recycled through the machine pool, which is
+// indistinguishable — mirroring the paper's independent trials. When Options carries a run cache or
 // journal, the cell is served from there when possible and recorded after
 // computing; either way the result is identical to an uncached run.
 //
@@ -208,16 +214,23 @@ func RunContext(ctx context.Context, w Workload, cfg config.Configuration, opt O
 	return res, nil
 }
 
+// pool recycles simulated machines across cells. A study re-builds the
+// same platform hundreds of times; recycling replaces those allocations
+// with a hard reset, and machine.ResetHard guarantees a recycled machine
+// is bit-for-bit a fresh one (TestPooledMachineDeterminism pins this).
+var pool = machine.NewPool()
+
 // runUncached is the cache-oblivious simulation path: build the machine,
 // place the threads, run the cycle engine, reduce the counters.
 func runUncached(w Workload, cfg config.Configuration, opt Options) (*RunResult, error) {
 	if len(w.Programs) == 0 {
 		return nil, fmt.Errorf("core: empty workload")
 	}
-	m, err := machine.New(opt.machineConfig())
+	m, err := pool.Get(opt.machineConfig())
 	if err != nil {
 		return nil, err
 	}
+	defer pool.Put(m)
 	ctxs, err := cfg.Apply(m)
 	if err != nil {
 		return nil, err
@@ -271,7 +284,12 @@ func runUncached(w Workload, cfg config.Configuration, opt Options) (*RunResult,
 		m.SetSampler(sampler)
 	}
 
-	wall, err := m.Run(opt.CycleLimit)
+	var wall int64
+	if opt.Reference {
+		wall, err = m.RunReference(opt.CycleLimit)
+	} else {
+		wall, err = m.Run(opt.CycleLimit)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %s on %s: %w", w.Name(), cfg.Name, err)
 	}

@@ -17,6 +17,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"xeonomp/internal/branch"
 	"xeonomp/internal/bus"
@@ -82,10 +83,18 @@ func (l Latencies) Validate() error {
 // Team is one OpenMP thread team synchronizing at barriers. All threads of
 // one program instance share a Team.
 type Team struct {
-	Size    int
-	arrived int
-	waiting []*Thread
+	Size     int
+	arrived  int
+	releases uint64
+	waiting  []*Thread
 }
+
+// Releases returns the number of barrier releases the team has performed.
+// The cycle engine uses it to detect, from outside the stepped core, that
+// a barrier release may have changed thread states on other contexts (the
+// one cross-context side effect of stepping a core — see the solo-window
+// fast path in internal/machine).
+func (tm *Team) Releases() uint64 { return tm.releases }
 
 // NewTeam creates a team of n threads.
 func NewTeam(n int) *Team {
@@ -124,6 +133,16 @@ type Thread struct {
 
 	FinishedAt int64
 
+	// mlp and depT cache the two Stream.Params() timing knobs the issue
+	// loop reads per instruction. Params returns the full parameter struct
+	// by value; copying ~200 bytes twice per instruction was ~10% of a cold
+	// study before these were hoisted here (see PERFORMANCE.md). depT is
+	// DepProb as a 53-bit integer threshold (see randThreshold): the
+	// per-instruction dependency draw compares in the integer domain,
+	// skipping the int→float convert of rand().
+	mlp  float64
+	depT uint64
+
 	retired   int64
 	arrivedAt int64
 	rngState  uint64
@@ -133,14 +152,25 @@ type Thread struct {
 
 // NewThread wraps a generator as a schedulable thread of the given team.
 func NewThread(name string, program int, gen trace.Stream, team *Team) *Thread {
+	p := gen.Params()
 	return &Thread{
 		Name:     name,
 		Program:  program,
 		Gen:      gen,
 		Team:     team,
 		WarmedAt: -1,
+		mlp:      p.MLP,
+		depT:     randThreshold(p.DepProb),
 		rngState: hash64(name),
 	}
+}
+
+// randThreshold converts probability p to the integer threshold q such
+// that rand() < p ⟺ randBits() < q, exactly: rand() is float64(z>>11)/2^53
+// with the division exact, so the comparison holds iff z>>11 < ⌈p·2^53⌉
+// (for integral p·2^53 the strict compare makes ⌈·⌉ the right bound too).
+func randThreshold(p float64) uint64 {
+	return uint64(math.Ceil(p * (1 << 53)))
 }
 
 func hash64(s string) uint64 {
@@ -159,12 +189,19 @@ func hash64(s string) uint64 {
 // used only for timing decisions (dependency bubbles), never for the
 // instruction stream itself.
 func (t *Thread) rand() float64 {
+	return float64(t.randBits()) / (1 << 53)
+}
+
+// randBits returns the raw 53-bit draw behind rand(); comparing it against
+// a randThreshold value is exactly equivalent to comparing rand() against
+// the probability, without the integer→float conversion.
+func (t *Thread) randBits() uint64 {
 	t.rngState += 0x9e3779b97f4a7c15
 	z := t.rngState
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	return float64(z>>11) / (1 << 53)
+	return z >> 11
 }
 
 // next returns the thread's next record, honoring a previously deferred one.
@@ -191,7 +228,9 @@ type Context struct {
 	Enabled bool
 
 	runq    []*Thread
-	current int // index into runq, -1 when empty
+	current int     // index into runq, -1 when empty
+	cur     *Thread // runq[current], cached: mounted() is on every hot path
+	done    int     // threads on runq that reached ThreadDone
 
 	readyAt      int64 // next cycle the mounted thread may issue
 	sliceEnd     int64 // quantum expiry for the mounted thread
@@ -200,6 +239,12 @@ type Context struct {
 	lastFetchPg  uint64
 	fetchPrimed  bool
 	barrierBlock bool // mounted thread is barrier-blocked and nothing else is runnable
+
+	// scratch is the per-context instruction buffer Step decodes into. It
+	// lives on the Context (not the Step stack) because passing a stack
+	// variable through the Stream interface makes it escape — one heap
+	// allocation per Step call, ~19% of a cold study's allocation volume.
+	scratch trace.Instr
 }
 
 // Core is one physical core with its shared structures.
@@ -227,6 +272,15 @@ type Core struct {
 	Peers []*Core
 
 	rr int // round-robin pointer over contexts
+
+	// relEpoch counts barrier releases machine-wide: every core of one
+	// machine shares the counter (wired by internal/machine via
+	// ShareReleaseEpoch). During a solo window only the solo core steps, so
+	// a change of the epoch across one of its steps is exactly "a team with
+	// a thread on this core released a barrier" — the one cross-context
+	// side effect a step can have — detectable with a single load instead
+	// of a walk over every team's release count.
+	relEpoch *uint64
 }
 
 // NewCore assembles a core. The caller provides the shared structures so
@@ -239,6 +293,7 @@ func NewCore(id string, lat Latencies, tc, l1d, l2 *cache.Cache, itlb, dtlb *tlb
 		ID: id, Lat: lat, TC: tc, L1D: l1d, L2: l2,
 		ITLB: itlb, DTLB: dtlb, BP: bp, PF: pf, FSB: fsb,
 		PrefetchGate: 64,
+		relEpoch:     new(uint64),
 	}
 	for i := 0; i < nContexts; i++ {
 		c.Contexts = append(c.Contexts, &Context{Core: c, current: -1})
@@ -249,8 +304,12 @@ func NewCore(id string, lat Latencies, tc, l1d, l2 *cache.Cache, itlb, dtlb *tlb
 // Assign appends a thread to the context's run queue.
 func (x *Context) Assign(t *Thread) {
 	x.runq = append(x.runq, t)
+	if t.State == ThreadDone {
+		x.done++
+	}
 	if x.current < 0 {
 		x.current = 0
+		x.cur = t
 	}
 }
 
@@ -261,38 +320,38 @@ func (x *Context) QueueLen() int { return len(x.runq) }
 func (x *Context) Threads() []*Thread { return x.runq }
 
 // mounted returns the currently mounted thread, or nil.
-func (x *Context) mounted() *Thread {
-	if x.current < 0 || x.current >= len(x.runq) {
-		return nil
-	}
-	return x.runq[x.current]
-}
+func (x *Context) mounted() *Thread { return x.cur }
 
 // Mounted returns the thread currently occupying the context, or nil.
 func (x *Context) Mounted() *Thread { return x.mounted() }
 
-// allDone reports whether every thread on the context has finished.
+// allDone reports whether every thread on the context has finished. The
+// done counter is maintained at the single ThreadDone transition in Step
+// (plus Assign, for pre-finished threads) so this is O(1) — it runs once
+// per Machine advancement per context.
 func (x *Context) allDone() bool {
-	for _, t := range x.runq {
-		if t.State != ThreadDone {
-			return false
-		}
-	}
-	return true
+	return x.done == len(x.runq)
 }
 
 // AllDone reports whether every thread on the context has finished.
 func (x *Context) AllDone() bool { return x.allDone() }
 
 // Clear empties the run queue and resets all per-context machine state.
+// The store-buffer backing array is kept (length zeroed) so a recycled
+// context does not re-grow it; everything observable is reset.
 func (x *Context) Clear() {
 	x.runq = nil
 	x.current = -1
+	x.cur = nil
+	x.done = 0
 	x.readyAt = 0
 	x.sliceEnd = 0
-	x.storeBuf = nil
+	x.storeBuf = x.storeBuf[:0]
+	x.lastFetchLn = 0
+	x.lastFetchPg = 0
 	x.fetchPrimed = false
 	x.barrierBlock = false
+	x.scratch = trace.Instr{}
 }
 
 // switchTo rotates to the next thread that is not Done, preferring runnable
@@ -328,6 +387,7 @@ func (x *Context) switchTo(now int64) bool {
 		x.fetchPrimed = false
 	}
 	x.current = pick
+	x.cur = nxt
 	x.sliceEnd = now + x.Core.Lat.Quantum
 	x.barrierBlock = false
 	return true
@@ -367,6 +427,51 @@ func (x *Context) NextEvent(now int64) int64 {
 		return x.readyAt
 	}
 	return now
+}
+
+// QuietWake classifies the context for batched clock advancement (see
+// internal/machine's advancement contract). Called with the cycle the
+// machine is about to advance to, it returns:
+//
+//   - -1 if the context is inert: disabled, empty, all threads done, or
+//     barrier-blocked with no release pending. Stepping it at any cycle is
+//     a no-op and it imposes no wake-up.
+//   - 0 if the context must be offered the very next cycle, because its
+//     step path would MUTATE state whose values depend on the call-time
+//     cycle: barrier-release recovery (readyFull clears barrierBlock and
+//     may switch threads), or a mounted non-Runnable thread (readyFull
+//     calls switchTo, which stamps readyAt/sliceEnd from `now`), or a
+//     mounted Runnable thread that is already ready.
+//   - w > now if the context is purely stalled until cycle w: mounted
+//     thread Runnable, not barrier-blocked, readyAt = w. Every Step offer
+//     in [now, w) is provably a read-only no-op (ready() is false and no
+//     recovery path triggers), so the machine may jump the clock straight
+//     to w without changing any observable state.
+//
+// This classification is deliberately conservative: any case that is not
+// provably a no-op window returns 0, forcing cycle-by-cycle stepping, so
+// the optimized engine stays byte-identical with the reference loop.
+func (x *Context) QuietWake(now int64) int64 {
+	if !x.Enabled {
+		return -1
+	}
+	t := x.mounted()
+	if t == nil || x.allDone() {
+		return -1
+	}
+	if x.barrierBlock {
+		if !x.anyRunnable() {
+			return -1 // parked until a release elsewhere
+		}
+		return 0 // recovery pending; readyFull must run now
+	}
+	if t.State != ThreadRunnable {
+		return 0 // switchTo would stamp state from the call-time cycle
+	}
+	if x.readyAt > now {
+		return x.readyAt
+	}
+	return 0
 }
 
 // stall charges n stall cycles to the mounted thread and blocks issue.
@@ -431,7 +536,7 @@ func (c *Core) memorySubsystem(x *Context, t *Thread, now int64, addr uint64, wr
 		done := c.FSB.Issue(now, bus.DemandRead)
 		t.Counters.Inc(counters.BusDemandRead)
 		t.Counters.Add(counters.MemReadBytes, uint64(c.L2.Config().LineSize))
-		mlp := t.Gen.Params().MLP
+		mlp := t.mlp
 		if c.siblingActive(x) {
 			// Load/store buffers are statically partitioned between the
 			// contexts when both are active, shrinking the miss-overlap
@@ -647,6 +752,7 @@ func arriveBarrier(t *Thread, now, releaseCost int64) bool {
 	}
 	tm.waiting = tm.waiting[:0]
 	tm.arrived = 0
+	tm.releases++
 	return true
 }
 
@@ -657,12 +763,39 @@ func arriveBarrier(t *Thread, now, releaseCost int64) bool {
 func (c *Core) Step(now int64) bool {
 	n := len(c.Contexts)
 	var x *Context
-	for i := 0; i < n; i++ {
-		cand := c.Contexts[(c.rr+i)%n]
-		if cand.readyFull(now) {
+	switch n {
+	case 1:
+		// Single hardware context (HT off): no arbitration, and rr can
+		// only ever be 0, so skip the round-robin scan.
+		if c.Contexts[0].readyFull(now) {
+			x = c.Contexts[0]
+		}
+	case 2:
+		// Hyper-Threading: two contexts, strict round robin, unrolled.
+		a := c.rr
+		if cand := c.Contexts[a]; cand.readyFull(now) {
 			x = cand
-			c.rr = (c.rr + i + 1) % n
-			break
+			c.rr = 1 - a
+		} else if cand := c.Contexts[1-a]; cand.readyFull(now) {
+			x = cand
+			c.rr = a
+		}
+	default:
+		idx := c.rr
+		for i := 0; i < n; i++ {
+			if idx >= n {
+				idx -= n
+			}
+			cand := c.Contexts[idx]
+			if cand.readyFull(now) {
+				x = cand
+				c.rr = idx + 1
+				if c.rr >= n {
+					c.rr = 0
+				}
+				break
+			}
+			idx++
 		}
 	}
 	if x == nil {
@@ -682,7 +815,7 @@ func (c *Core) Step(now int64) bool {
 	// Execution-port contention: with the sibling context also ready this
 	// cycle, the shared decode/issue resources sometimes halve the group.
 	width := c.Lat.IssuePerCycle
-	if width > 1 && c.Lat.SMTClash > 0 {
+	if n > 1 && width > 1 && c.Lat.SMTClash > 0 {
 		for _, o := range c.Contexts {
 			if o != x && o.ready(now) {
 				if t.rand() < c.Lat.SMTClash {
@@ -695,16 +828,18 @@ func (c *Core) Step(now int64) bool {
 
 	issued := 0
 	for issued < width {
-		var in trace.Instr
-		if !t.next(&in) {
+		in := &x.scratch
+		if !t.next(in) {
 			t.State = ThreadDone
 			t.FinishedAt = now
+			x.done++
 			x.switchTo(now)
 			return issued > 0
 		}
 		if in.Kind == trace.Barrier {
 			released := arriveBarrier(t, now, c.Lat.BarrierRelease)
 			if released {
+				*c.relEpoch++
 				x.stallNoCount(now, c.Lat.BarrierRelease)
 			} else {
 				// Try to run something else on this context.
@@ -748,7 +883,7 @@ func (c *Core) Step(now int64) bool {
 			break
 		}
 		// Dependency bubble ends the issue group.
-		if p := t.Gen.Params().DepProb; p > 0 && t.rand() < p {
+		if t.depT > 0 && t.randBits() < t.depT {
 			x.stallNoCount(now, 1)
 			break
 		}
@@ -759,12 +894,240 @@ func (c *Core) Step(now int64) bool {
 	return issued > 0
 }
 
+// StepWindow drives context x — which must be the core's only active
+// context — from cycle `from` until the window closes, and returns the
+// cycle it stopped at. It is the fused fast path for internal/machine's
+// solo windows: the per-cycle Step/QuietWake/accrue round-trips of the
+// generic loop collapse into one tight loop with segment-batched cycle
+// accounting.
+//
+// The loop is cycle-for-cycle equivalent to the generic solo loop (and so
+// to the reference engine):
+//
+//   - bound (earliest off-core wake, -1 for none) and limit (cycle budget,
+//     0 for none) close the window exactly where the generic loop's
+//     top-of-loop checks would.
+//   - After an issuing step the clock jumps straight to x's readyAt when it
+//     is purely stalled — the inlined equivalent of QuietWake — capped at
+//     bound, and only when the jump start is inside the limit.
+//   - After a non-issuing step the clock advances to x's next event, capped
+//     at bound; with no event the window closes and the machine resolves
+//     done/deadlock at the returned cycle.
+//
+// watchRelease selects the non-self-contained mode: when a step changes
+// the machine-wide release epoch — a barrier release that may have made
+// threads on other cores runnable — the window stops with released=true
+// and `issued` reporting that step's outcome, and the caller completes the
+// cycle exactly as the reference engine would (offering it to the cores
+// after this one, then accruing the advancement). A core whose teams are
+// all local never needs the probe and passes false.
+//
+// Cycle accounting matches machine.accrue: each advancement charges the
+// post-step mounted, not-Done thread. Because that chargeable thread only
+// changes inside Step — only this core steps during a solo window — whole
+// segments between changes are charged with a single counter add instead
+// of one per advancement.
+func (c *Core) StepWindow(x *Context, from, bound, limit int64, watchRelease bool) (now int64, issued, released bool) {
+	now = from
+	seg := now
+	epoch := *c.relEpoch
+	var t *Thread // chargeable mounted thread over [seg, now)
+	if u := x.cur; u != nil && u.State != ThreadDone {
+		t = u
+	}
+	settle := func(upto int64) {
+		if t != nil && upto > seg {
+			t.Counters.Add(counters.Cycles, uint64(upto-seg))
+		}
+		seg = upto
+	}
+	for {
+		if bound >= 0 && now >= bound {
+			settle(now)
+			return now, false, false
+		}
+		if limit > 0 && now >= limit {
+			settle(now)
+			return now, false, false
+		}
+		if x.done == len(x.runq) {
+			settle(now)
+			return now, false, false
+		}
+		issued = c.Step(now)
+		if t != nil && t.WarmedAt == now {
+			// The warmup threshold fired inside this step: Counters.Reset
+			// discarded everything accrued so far, and the reference engine
+			// charged all of the pending segment before that reset. Drop it
+			// instead of (wrongly) applying it post-reset.
+			seg = now
+		}
+		if watchRelease && *c.relEpoch != epoch {
+			// A release escaped the core; the advancement off this cycle is
+			// the caller's to charge (post-step states of all cores).
+			settle(now)
+			return now, issued, true
+		}
+		u := x.cur
+		if u != nil && u.State == ThreadDone {
+			u = nil
+		}
+		if u != t {
+			settle(now)
+			t = u
+		}
+		nxt := now + 1
+		if !issued {
+			ev := x.NextEvent(now)
+			if bound >= 0 && (ev < 0 || bound < ev) {
+				ev = bound
+			}
+			if ev < 0 {
+				settle(now)
+				return now, false, false
+			}
+			if ev > nxt {
+				nxt = ev
+			}
+		} else if limit <= 0 || nxt < limit {
+			// Inlined QuietWake: after an issuing step the context is
+			// enabled with a mounted thread; it is purely stalled iff that
+			// thread is still Runnable, no barrier recovery is pending, and
+			// readyAt is in the future.
+			if u != nil && u.State == ThreadRunnable && !x.barrierBlock && x.readyAt > nxt {
+				w := x.readyAt
+				if bound >= 0 && bound < w {
+					w = bound
+				}
+				nxt = w
+			}
+		}
+		now = nxt
+	}
+}
+
+// StepWindow2 is StepWindow for a Hyper-Threaded core whose two contexts
+// are both active: the same fused solo-window loop, with the segment
+// accounting and wake classification carried for both contexts. The window
+// semantics, closing conditions, and equivalence argument are identical to
+// StepWindow's; arbitration between the contexts stays inside Step, so the
+// issue interleaving is untouched.
+func (c *Core) StepWindow2(x0, x1 *Context, from, bound, limit int64, watchRelease bool) (now int64, issued, released bool) {
+	now = from
+	seg := now
+	epoch := *c.relEpoch
+	chargeable := func(x *Context) *Thread {
+		if u := x.cur; u != nil && u.State != ThreadDone {
+			return u
+		}
+		return nil
+	}
+	t0, t1 := chargeable(x0), chargeable(x1)
+	settle := func(upto int64) {
+		if upto > seg {
+			d := uint64(upto - seg)
+			if t0 != nil {
+				t0.Counters.Add(counters.Cycles, d)
+			}
+			if t1 != nil {
+				t1.Counters.Add(counters.Cycles, d)
+			}
+		}
+		seg = upto
+	}
+	for {
+		if bound >= 0 && now >= bound {
+			settle(now)
+			return now, false, false
+		}
+		if limit > 0 && now >= limit {
+			settle(now)
+			return now, false, false
+		}
+		if x0.done == len(x0.runq) && x1.done == len(x1.runq) {
+			settle(now)
+			return now, false, false
+		}
+		issued = c.Step(now)
+		w0 := t0 != nil && t0.WarmedAt == now
+		w1 := t1 != nil && t1.WarmedAt == now
+		if w0 || w1 {
+			// A warmup reset discards that thread's pending segment (see
+			// StepWindow); the sibling's pending charge still applies.
+			if now > seg {
+				d := uint64(now - seg)
+				if t0 != nil && !w0 {
+					t0.Counters.Add(counters.Cycles, d)
+				}
+				if t1 != nil && !w1 {
+					t1.Counters.Add(counters.Cycles, d)
+				}
+			}
+			seg = now
+		}
+		if watchRelease && *c.relEpoch != epoch {
+			settle(now)
+			return now, issued, true
+		}
+		u0, u1 := chargeable(x0), chargeable(x1)
+		if u0 != t0 || u1 != t1 {
+			settle(now)
+			t0, t1 = u0, u1
+		}
+		nxt := now + 1
+		if !issued {
+			ev := x0.NextEvent(now)
+			if e := x1.NextEvent(now); e >= 0 && (ev < 0 || e < ev) {
+				ev = e
+			}
+			if bound >= 0 && (ev < 0 || bound < ev) {
+				ev = bound
+			}
+			if ev < 0 {
+				settle(now)
+				return now, false, false
+			}
+			if ev > nxt {
+				nxt = ev
+			}
+		} else if limit <= 0 || nxt < limit {
+			// quietUntil over exactly two contexts: 0 forbids the jump,
+			// -1 imposes nothing, >nxt bounds it.
+			q0 := x0.QuietWake(nxt)
+			if q0 != 0 {
+				q1 := x1.QuietWake(nxt)
+				if q1 != 0 {
+					best := nxt
+					if q0 > nxt {
+						best = q0
+					}
+					if q1 > nxt && (best == nxt || q1 < best) {
+						best = q1
+					}
+					if best > nxt {
+						if bound >= 0 && bound < best {
+							best = bound
+						}
+						nxt = best
+					}
+				}
+			}
+		}
+		now = nxt
+	}
+}
+
 // readyFull is ready() plus barrier-release recovery: a context whose
 // mounted thread was released from a barrier becomes schedulable again.
 func (x *Context) readyFull(now int64) bool {
-	t := x.mounted()
+	t := x.cur
 	if t == nil {
 		return false
+	}
+	// Fast path: the overwhelmingly common case is a runnable mounted
+	// thread with no barrier recovery pending.
+	if !x.barrierBlock && t.State == ThreadRunnable {
+		return x.Enabled && now >= x.readyAt
 	}
 	if x.barrierBlock {
 		// Re-check: a barrier release elsewhere may have made a thread runnable.
@@ -835,6 +1198,38 @@ func (c *Core) Done() bool {
 	}
 	return true
 }
+
+// Reset restores the core to power-on state so a recycled core is
+// indistinguishable from a freshly built one: caches and TLBs are reset
+// including their internal replacement clocks and policy RNG (a plain
+// Flush keeps those ticking, which would diverge under the Random
+// replacement policy), branch predictor and prefetcher re-initialize, the
+// round-robin context-arbitration pointer returns to context 0, and every
+// context is cleared and disabled. Contrast with machine.Reset, which
+// deliberately preserves arbitration state for back-to-back phases of one
+// experiment (see internal/lmbench).
+func (c *Core) Reset() {
+	c.TC.Reset()
+	c.L1D.Reset()
+	c.L2.Reset()
+	c.ITLB.Reset()
+	c.DTLB.Reset()
+	c.BP.Reset()
+	c.PF.Reset()
+	c.rr = 0
+	for _, x := range c.Contexts {
+		x.Enabled = false
+		x.Clear()
+	}
+}
+
+// ReleaseEpoch returns the machine-wide barrier-release counter shared by
+// this core (see the relEpoch field).
+func (c *Core) ReleaseEpoch() uint64 { return *c.relEpoch }
+
+// ShareReleaseEpoch rewires the core's release-epoch counter to p, so all
+// cores of one machine observe every release. Called once at machine build.
+func (c *Core) ShareReleaseEpoch(p *uint64) { c.relEpoch = p }
 
 // InvalidatePeersForTest exposes the coherence path for cross-package tests.
 func (c *Core) InvalidatePeersForTest(t *Thread, addr uint64, now int64) {

@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"sync"
+
+	"xeonomp/internal/obs"
+)
+
+// Pool traffic series (see internal/obs): a build is a pool miss paying
+// the full New cost; a reuse hands out a hard-reset recycled machine.
+var (
+	obsPoolBuilds = obs.NewCounter(obs.MetricMachinePoolBuilds)
+	obsPoolReuses = obs.NewCounter(obs.MetricMachinePoolReuses)
+)
+
+// Pool recycles Machines between experiment cells. Building a machine
+// allocates every cache way, TLB entry and predictor table (a few MB for
+// the Paxville preset), which a study repeats hundreds of times with the
+// same Config; the pool trades that for a ResetHard sweep over existing
+// arrays. Machines are keyed by their full Config (a comparable value
+// type), so a pooled machine is only ever reused for an identical
+// platform, and Put hard-resets before parking so a recycled machine is
+// bit-for-bit indistinguishable from a fresh New — determinism tests
+// assert this. Pool is safe for concurrent use by the study workers.
+type Pool struct {
+	mu   sync.Mutex
+	free map[Config][]*Machine
+}
+
+// NewPool returns an empty machine pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[Config][]*Machine)}
+}
+
+// Get returns a machine for cfg: a recycled one when available, otherwise
+// a freshly built one. The machine is in power-on state either way.
+func (p *Pool) Get(cfg Config) (*Machine, error) {
+	p.mu.Lock()
+	if list := p.free[cfg]; len(list) > 0 {
+		m := list[len(list)-1]
+		list[len(list)-1] = nil
+		p.free[cfg] = list[:len(list)-1]
+		p.mu.Unlock()
+		obsPoolReuses.Inc()
+		return m, nil
+	}
+	p.mu.Unlock()
+	obsPoolBuilds.Inc()
+	return New(cfg)
+}
+
+// Put hard-resets m and parks it for reuse. Put(nil) is a no-op. The
+// caller must not retain references into the machine (contexts, cores,
+// samplers) after Put.
+func (p *Pool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	m.ResetHard()
+	p.mu.Lock()
+	p.free[m.Cfg] = append(p.free[m.Cfg], m)
+	p.mu.Unlock()
+}

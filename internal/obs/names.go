@@ -22,10 +22,28 @@ const (
 	MetricJournalReplayed     = "journal.replayed_cells"
 	MetricJournalReplayServes = "journal.replay_serves"
 
-	// Cycle-engine throughput (internal/machine).
+	// Cycle-engine throughput (internal/machine) — the raw-speed series
+	// PERFORMANCE.md and the BENCH_*.json snapshots are built on.
+	// MetricMachineRuns counts Machine.Run invocations (a study cell runs
+	// the machine once per trial plus serial baselines).
+	// MetricMachineCycles accumulates simulated cycles advanced across
+	// all runs, including jumped quiet windows — it measures simulated
+	// work, not host work. MetricMachineCyclesPerWs is a gauge of the
+	// last run's simulated-cycles-per-wall-second rate, the single best
+	// "is the simulator fast right now" number in a -metrics-out
+	// snapshot; cmd/benchsnap derives its throughput fields from the
+	// counter deltas instead so they aggregate across cells.
 	MetricMachineRuns        = "machine.runs"
 	MetricMachineCycles      = "machine.cycles_total"
 	MetricMachineCyclesPerWs = "machine.cycles_per_wall_second"
+
+	// Machine pool traffic (internal/machine.Pool): builds are cache
+	// misses (a full New), reuses are recycled hard-reset machines. A
+	// healthy study shows builds ≈ distinct machine configs and
+	// everything else reuses; rising builds mean cells stopped sharing
+	// pooled machines and the per-cell allocation cost is back.
+	MetricMachinePoolBuilds = "machine.pool_builds"
+	MetricMachinePoolReuses = "machine.pool_reuses"
 
 	// Experiment engine (internal/core).
 	MetricCoreCellsComputed = "core.cells_computed"

@@ -44,6 +44,12 @@ type Prefetcher struct {
 	streams []stream
 	clock   uint64
 	issued  uint64
+
+	// cands is the reusable candidate buffer OnMiss returns a slice of;
+	// callers consume the result before the next OnMiss call (the cpu
+	// model issues candidates immediately), so one buffer per prefetcher
+	// avoids an allocation on every confirmed-stream trigger.
+	cands []uint64
 }
 
 // New builds a prefetcher, panicking on invalid configuration.
@@ -62,7 +68,8 @@ func (p *Prefetcher) Issued() uint64 { return p.issued }
 
 // OnMiss observes a demand miss at line-aligned address line and returns the
 // line addresses to prefetch (possibly none). Candidates never cross the
-// stream's page.
+// stream's page. The returned slice aliases an internal buffer and is only
+// valid until the next OnMiss call.
 func (p *Prefetcher) OnMiss(line uint64) []uint64 {
 	p.clock++
 	page := line &^ uint64(p.cfg.PageSize-1)
@@ -114,7 +121,7 @@ func (p *Prefetcher) OnMiss(line uint64) []uint64 {
 		return nil
 	}
 	s.stride = delta
-	var out []uint64
+	out := p.cands[:0]
 	next := int64(line)
 	for i := 0; i < p.cfg.Degree; i++ {
 		next += s.stride
@@ -126,6 +133,7 @@ func (p *Prefetcher) OnMiss(line uint64) []uint64 {
 		}
 		out = append(out, uint64(next))
 	}
+	p.cands = out
 	p.issued += uint64(len(out))
 	return out
 }

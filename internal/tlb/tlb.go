@@ -34,16 +34,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
-type entry struct {
-	vpn   uint64
-	valid bool
-	stamp uint64
-}
+// invalidVPN marks an empty entry. Virtual page numbers are addr>>pageShift
+// with pageShift ≥ 12, so no reachable translation can collide with it.
+const invalidVPN = ^uint64(0)
 
-// TLB is one translation buffer.
+// TLB is one translation buffer. Entry state is structure-of-arrays with a
+// sentinel VPN for empty slots, so the Access hot path scans one contiguous
+// run of uint64s (a single hardware cache line for a 4-way set) with no
+// separate validity check.
 type TLB struct {
 	cfg       Config
-	entries   []entry
+	vpns      []uint64 // invalidVPN when the slot is empty
+	stamps    []uint64 // LRU: larger = more recent
+	assoc     uint64
 	numSets   uint64
 	pageShift uint
 	clock     uint64
@@ -54,12 +57,18 @@ func New(cfg Config) *TLB {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &TLB{
+	t := &TLB{
 		cfg:       cfg,
-		entries:   make([]entry, cfg.Entries),
+		vpns:      make([]uint64, cfg.Entries),
+		stamps:    make([]uint64, cfg.Entries),
+		assoc:     uint64(cfg.Assoc),
 		numSets:   uint64(cfg.Entries / cfg.Assoc),
 		pageShift: units.Log2(cfg.PageSize),
 	}
+	for i := range t.vpns {
+		t.vpns[i] = invalidVPN
+	}
+	return t
 }
 
 // Config returns the TLB's configuration.
@@ -68,10 +77,9 @@ func (t *TLB) Config() Config { return t.cfg }
 // Page returns the virtual page number of addr.
 func (t *TLB) Page(addr uint64) uint64 { return addr >> t.pageShift }
 
-func (t *TLB) set(vpn uint64) []entry {
-	s := vpn & (t.numSets - 1)
-	base := s * uint64(t.cfg.Assoc)
-	return t.entries[base : base+uint64(t.cfg.Assoc)]
+// setBase returns the index of the first way of vpn's set.
+func (t *TLB) setBase(vpn uint64) uint64 {
+	return (vpn & (t.numSets - 1)) * t.assoc
 }
 
 // Access translates addr: it returns true on a TLB hit. On a miss the
@@ -79,25 +87,27 @@ func (t *TLB) set(vpn uint64) []entry {
 // model), evicting the LRU entry of the set.
 func (t *TLB) Access(addr uint64) bool {
 	vpn := t.Page(addr)
-	set := t.set(vpn)
+	base := t.setBase(vpn)
 	t.clock++
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
-			set[i].stamp = t.clock
+	vpns := t.vpns[base : base+t.assoc]
+	for i := range vpns {
+		if vpns[i] == vpn {
+			t.stamps[base+uint64(i)] = t.clock
 			return true
 		}
 	}
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
+	victim := base
+	for j := base; j < base+t.assoc; j++ {
+		if t.vpns[j] == invalidVPN {
+			victim = j
 			break
 		}
-		if set[i].stamp < set[victim].stamp {
-			victim = i
+		if t.stamps[j] < t.stamps[victim] {
+			victim = j
 		}
 	}
-	set[victim] = entry{vpn: vpn, valid: true, stamp: t.clock}
+	t.vpns[victim] = vpn
+	t.stamps[victim] = t.clock
 	return false
 }
 
@@ -105,9 +115,10 @@ func (t *TLB) Access(addr uint64) bool {
 // altering state.
 func (t *TLB) Probe(addr uint64) bool {
 	vpn := t.Page(addr)
-	set := t.set(vpn)
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
+	base := t.setBase(vpn)
+	vpns := t.vpns[base : base+t.assoc]
+	for i := range vpns {
+		if vpns[i] == vpn {
 			return true
 		}
 	}
@@ -115,18 +126,27 @@ func (t *TLB) Probe(addr uint64) bool {
 }
 
 // Flush invalidates all entries (e.g. on a simulated context switch with
-// address-space change).
+// address-space change). The LRU stamp clock keeps ticking; use Reset to
+// return to power-on state.
 func (t *TLB) Flush() {
-	for i := range t.entries {
-		t.entries[i] = entry{}
+	for i := range t.vpns {
+		t.vpns[i] = invalidVPN
+		t.stamps[i] = 0
 	}
+}
+
+// Reset restores power-on state: all entries invalid and the LRU stamp
+// clock rewound, so a recycled TLB is indistinguishable from a fresh one.
+func (t *TLB) Reset() {
+	t.Flush()
+	t.clock = 0
 }
 
 // Valid returns the number of valid entries.
 func (t *TLB) Valid() int {
 	n := 0
-	for i := range t.entries {
-		if t.entries[i].valid {
+	for _, v := range t.vpns {
+		if v != invalidVPN {
 			n++
 		}
 	}

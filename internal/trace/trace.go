@@ -17,6 +17,8 @@ package trace
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"xeonomp/internal/mem"
 )
@@ -164,9 +166,62 @@ func (r *rng) float() float64 {
 	return float64(r.next()>>11) / (1 << 53)
 }
 
+// bits returns the raw 53-bit draw behind float(). Comparing it against a
+// threshold(p) value is exactly equivalent to float() < p without the
+// integer→float conversion — worth it on draws made once per instruction.
+func (r *rng) bits() uint64 {
+	return r.next() >> 11
+}
+
+// threshold converts probability p to the integer bound q with
+// float() < p ⟺ bits() < q. The division in float() is exact (power of
+// two), so the comparison holds iff the draw is below ⌈p·2^53⌉; for
+// integral p·2^53 the strict compare makes the same bound right.
+func threshold(p float64) uint64 {
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
 // below returns a uniform value in [0,n). n must be positive.
 func (r *rng) below(n uint64) uint64 {
 	return r.next() % n
+}
+
+// divisor precomputes an exact remainder-by-constant: rem(x) == x%n for
+// every x, via two multiplies (round-up reciprocal with one fixup step)
+// instead of a hardware divide — the divide was the single most expensive
+// instruction on the address-generation path. Divisors outside [2, 2^63)
+// (never produced by real layouts) take the plain % path, so the identity
+// holds unconditionally.
+type divisor struct {
+	n     uint64
+	magic uint64 // ⌈2^64/n⌉; 0 selects the fallback path
+}
+
+func newDivisor(n uint64) divisor {
+	d := divisor{n: n}
+	if n >= 2 && n < 1<<63 {
+		d.magic = ^uint64(0)/n + 1
+	}
+	return d
+}
+
+// rem returns x % d.n. With magic set, q = ⌊x·⌈2^64/n⌉ / 2^64⌋ is either
+// the true quotient or one above it; in the latter case the subtraction
+// wraps to [2^64-n, 2^64), disjoint from true remainders for n < 2^63, so
+// one wrapping add of n restores exactness.
+func (d divisor) rem(x uint64) uint64 {
+	if d.magic == 0 {
+		if d.n <= 1 {
+			return 0
+		}
+		return x % d.n
+	}
+	q, _ := bits.Mul64(d.magic, x)
+	r := x - q*d.n
+	if r >= d.n {
+		r += d.n
+	}
+	return r
 }
 
 // Generator produces one thread's stream.
@@ -204,7 +259,44 @@ type Generator struct {
 
 	// Normalized pattern thresholds.
 	hotT, warmT, seqT, strideT float64
+
+	// Hot-path caches, all pure functions of construction-time state (they
+	// consume no RNG, so the emitted stream is byte-identical with or
+	// without them). sites memoizes the per-PC site classification over the
+	// hot code span: kinds are a pure function of the PC, and hot-loop PCs
+	// repeat thousands of times, so the two pcMix hashes per visit were a
+	// measurable slice of a study's wall time.
+	hotN     uint64     // hotSpan(), computed once
+	coldSpan uint64     // code bytes above the hot span
+	canJump  bool       // the cold-excursion draw in Next is live
+	priv     mem.Region // layout.Private[tid]
+	hotB     uint64     // hot-set size clamped to the private region
+
+	// Exact-remainder reciprocals for the three variable moduli on the
+	// address/jump generation paths (see divisor).
+	hotDiv, shDiv, pvDiv, coldDiv divisor
+
+	sites []uint8 // 0 = not yet classified, else site* constants
+
+	// Integer-domain probability bounds for the per-instruction draws
+	// (see threshold): same RNG consumption, same outcomes, no
+	// integer→float conversion per draw.
+	hotTi, warmTi, seqTi, strideTi uint64
+	sharedTi, jumpTi, entropyTi    uint64
 }
+
+// biasTi is threshold(0.96), the structured-branch taken bias.
+var biasTi = threshold(0.96)
+
+// Site classification codes for the sites memo (0 means "not yet
+// classified", so every real code is non-zero).
+const (
+	siteLoad = iota + 1
+	siteStore
+	siteBranchData  // data-dependent branch site
+	siteBranchPlain // structured, strongly-biased branch site
+	siteCompute
+)
 
 // NewGenerator builds the stream generator for thread tid of a program with
 // the given layout. budget is the number of instructions the thread will
@@ -277,6 +369,28 @@ func NewGenerator(p Params, layout *mem.Layout, tid int, budget int64, seed uint
 	if g.effChunk < 1 {
 		g.effChunk = 1
 	}
+	g.hotN = g.hotSpan()
+	g.coldSpan = layout.Code.Size - g.hotN
+	g.canJump = g.coldSpan >= uint64(p.LoopLen)*4 && p.CodeJumpProb > 0
+	g.priv = layout.Private[tid]
+	g.hotB = p.HotBytes
+	if g.hotB == 0 || g.hotB > g.priv.Size {
+		g.hotB = g.priv.Size
+	}
+	g.sites = make([]uint8, g.hotN/4)
+	g.hotTi = threshold(g.hotT)
+	g.warmTi = threshold(g.warmT)
+	g.seqTi = threshold(g.seqT)
+	g.strideTi = threshold(g.strideT)
+	g.sharedTi = threshold(p.SharedFrac)
+	g.jumpTi = threshold(p.CodeJumpProb)
+	g.entropyTi = threshold(p.DataEntropy)
+	g.hotDiv = newDivisor(g.hotB)
+	g.shDiv = newDivisor(g.sharedPart.Size)
+	g.pvDiv = newDivisor(g.privStream.Size)
+	if g.canJump {
+		g.coldDiv = newDivisor(g.coldSpan - uint64(p.LoopLen)*4 + 4)
+	}
 	g.startChunk()
 	return g, nil
 }
@@ -321,17 +435,12 @@ func advance(cur uint64, step uint64, r mem.Region) uint64 {
 }
 
 func (g *Generator) dataAddr() uint64 {
-	r := g.rng.float()
-	priv := g.layout.Private[g.tid]
+	r := g.rng.bits()
 	switch {
-	case r < g.hotT:
+	case r < g.hotTi:
 		// Hot set at the base of the private region.
-		hb := g.p.HotBytes
-		if hb == 0 || hb > priv.Size {
-			hb = priv.Size
-		}
-		return priv.Base + g.rng.below(hb)&^7
-	case r < g.warmT:
+		return g.priv.Base + g.hotDiv.rem(g.rng.next())&^7
+	case r < g.warmTi:
 		// Warm set just above the hot set: a cyclic strided scan, so its
 		// reuse distance is its footprint and it stays L2-resident exactly
 		// when one thread owns the L2.
@@ -341,29 +450,29 @@ func (g *Generator) dataAddr() uint64 {
 		}
 		g.warmCursor = advance(g.warmCursor, step, g.warmRegion)
 		return g.warmCursor
-	case r < g.seqT:
-		if g.rng.float() < g.p.SharedFrac {
+	case r < g.seqTi:
+		if g.rng.bits() < g.sharedTi {
 			g.seqShared = advance(g.seqShared, 8, g.sharedPart)
 			return g.seqShared
 		}
 		g.seqPriv = advance(g.seqPriv, 8, g.privStream)
 		return g.seqPriv
-	case r < g.strideT:
+	case r < g.strideTi:
 		step := g.p.StrideBytes
 		if step == 0 {
 			step = 64
 		}
-		if g.rng.float() < g.p.SharedFrac {
+		if g.rng.bits() < g.sharedTi {
 			g.strideShared = advance(g.strideShared, step, g.sharedPart)
 			return g.strideShared
 		}
 		g.stridePriv = advance(g.stridePriv, step, g.privStream)
 		return g.stridePriv
 	default:
-		if g.rng.float() < g.p.SharedFrac {
-			return g.sharedPart.Base + g.rng.below(g.sharedPart.Size)&^7
+		if g.rng.bits() < g.sharedTi {
+			return g.sharedPart.Base + g.shDiv.rem(g.rng.next())&^7
 		}
-		return g.privStream.Base + g.rng.below(g.privStream.Size)&^7
+		return g.privStream.Base + g.pvDiv.rem(g.rng.next())&^7
 	}
 }
 
@@ -381,35 +490,66 @@ func (g *Generator) hotSpan() uint64 {
 	return hot
 }
 
-// emitKind produces a non-loop-back record for the instruction at pc. The
-// kind is a pure function of the PC, so branch sites are stable across
-// passes and a history-based predictor can learn the stream.
-func (g *Generator) emitKind(pc uint64, in *Instr) {
+// classify derives the site code for pc from its hash. Kinds are a pure
+// function of the PC, so branch sites are stable across passes and a
+// history-based predictor can learn the stream. classify consumes no RNG.
+func (g *Generator) classify(pc uint64) uint8 {
 	r := pcMix(pc)
 	switch {
 	case r < g.p.LoadFrac:
-		*in = Instr{Kind: Load, PC: pc, Addr: g.dataAddr()}
+		return siteLoad
 	case r < g.p.LoadFrac+g.p.StoreFrac:
-		*in = Instr{Kind: Store, PC: pc, Addr: g.dataAddr()}
+		return siteStore
 	case r < g.p.LoadFrac+g.p.StoreFrac+g.p.BranchFrac:
-		var taken bool
 		// Whether a branch site is data-dependent is also a property of
 		// the site, not of the visit.
 		if pcMix(pc^0xabcd1234) < g.p.DataBranchFrac {
-			// Data-dependent: repeating pattern plus entropy flips.
-			pat := g.p.DataPattern
-			if pat == 0 {
-				pat = 0xb6db6db6db6db6db // period-3 "110" pattern
-			}
-			taken = pat>>(g.dataBranchN%64)&1 == 1
-			g.dataBranchN++
-			if g.p.DataEntropy > 0 && g.rng.float() < g.p.DataEntropy {
-				taken = g.rng.float() < 0.5
-			}
-		} else {
-			// Structured non-loop branch: strongly biased taken.
-			taken = g.rng.float() < 0.96
+			return siteBranchData
 		}
+		return siteBranchPlain
+	default:
+		return siteCompute
+	}
+}
+
+// siteKind returns the site code for pc, memoized over the hot code span.
+// Cold-excursion PCs (above the span) are classified on the fly — they are
+// a fraction of a percent of the stream.
+func (g *Generator) siteKind(pc uint64) uint8 {
+	if off := pc - g.layout.Code.Base; off < g.hotN {
+		i := off >> 2
+		k := g.sites[i]
+		if k == 0 {
+			k = g.classify(pc)
+			g.sites[i] = k
+		}
+		return k
+	}
+	return g.classify(pc)
+}
+
+// emitKind produces a non-loop-back record for the instruction at pc.
+func (g *Generator) emitKind(pc uint64, in *Instr) {
+	switch g.siteKind(pc) {
+	case siteLoad:
+		*in = Instr{Kind: Load, PC: pc, Addr: g.dataAddr()}
+	case siteStore:
+		*in = Instr{Kind: Store, PC: pc, Addr: g.dataAddr()}
+	case siteBranchData:
+		// Data-dependent: repeating pattern plus entropy flips.
+		pat := g.p.DataPattern
+		if pat == 0 {
+			pat = 0xb6db6db6db6db6db // period-3 "110" pattern
+		}
+		taken := pat>>(g.dataBranchN%64)&1 == 1
+		g.dataBranchN++
+		if g.p.DataEntropy > 0 && g.rng.bits() < g.entropyTi {
+			taken = g.rng.bits() < 1<<52 // fair coin
+		}
+		*in = Instr{Kind: Branch, PC: pc, Taken: taken, Target: pc + 16}
+	case siteBranchPlain:
+		// Structured non-loop branch: strongly biased taken.
+		taken := g.rng.bits() < biasTi
 		*in = Instr{Kind: Branch, PC: pc, Taken: taken, Target: pc + 16}
 	default:
 		*in = Instr{Kind: Compute, PC: pc}
@@ -500,11 +640,9 @@ func (g *Generator) Next(in *Instr) bool {
 	// cold part of the code region, above the hot span (trace cache and
 	// ITLB pressure). Cold code is straight-line and never overlaps the
 	// hot loop tiles, so every PC keeps a single role.
-	if cold := g.layout.Code.Size - g.hotSpan(); cold >= uint64(g.p.LoopLen)*4 &&
-		g.p.CodeJumpProb > 0 && g.rng.float() < g.p.CodeJumpProb {
+	if g.canJump && g.rng.bits() < g.jumpTi {
 		g.coldResume = g.pc
-		span := cold - uint64(g.p.LoopLen)*4 + 4
-		g.pc = g.layout.Code.Base + g.hotSpan() + g.rng.below(span)&^3
+		g.pc = g.layout.Code.Base + g.hotN + g.coldDiv.rem(g.rng.next())&^3
 		g.coldLeft = g.p.LoopLen
 		pc := g.pc
 		g.coldLeft--
@@ -525,7 +663,7 @@ func (g *Generator) Next(in *Instr) bool {
 			g.pc = g.winBase
 		} else {
 			nb := g.winBase + win
-			if nb+win > g.layout.Code.Base+g.hotSpan() {
+			if nb+win > g.layout.Code.Base+g.hotN {
 				nb = g.layout.Code.Base
 			}
 			g.winBase = nb
