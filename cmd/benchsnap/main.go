@@ -18,6 +18,14 @@
 // changes. -out and -check compose: measure once, write the new snapshot,
 // and judge it against the old one.
 //
+// -best N repeats the whole measurement N times and keeps the fastest by
+// total cells/s before writing or gating. Throughput on shared CI
+// runners is one-sided noise — a neighbor can only steal cycles, never
+// donate them — so the max of a few measurements estimates the machine's
+// true rate far better than any single run, and the regression gate
+// stops failing on scheduler weather (`make bench-snapshot` uses
+// -reps 5 -best 3).
+//
 // Wall time is read through obs.StartTimer — the observability layer is
 // the tree's single clock-reading choke point — and never flows into
 // simulation results: a benchsnap snapshot describes the simulator, not
@@ -86,6 +94,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.20, "allowed fractional cells/s regression for -check")
 		scale     = flag.Float64("scale", 0.1, "instruction-budget scale per cell")
 		reps      = flag.Int("reps", 3, "measured repetitions per grid kind (after one warmup)")
+		best      = flag.Int("best", 1, "full measurements to take, keeping the fastest by total cells/s")
 		date      = flag.String("date", "", "date stamp recorded in the snapshot (e.g. 2026-08-08)")
 	)
 	flag.Parse()
@@ -93,11 +102,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap: -reps must be >= 1")
 		os.Exit(2)
 	}
+	if *best < 1 {
+		fmt.Fprintln(os.Stderr, "benchsnap: -best must be >= 1")
+		os.Exit(2)
+	}
 
-	snap, err := measure(*scale, *reps, *date)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchsnap:", err)
-		os.Exit(1)
+	var snap *Snapshot
+	for i := 0; i < *best; i++ {
+		cur, err := measure(*scale, *reps, *date)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		if *best > 1 {
+			fmt.Printf("measurement %d/%d: %.2f cells/s\n", i+1, *best, cur.CellsPerSecond)
+		}
+		if snap == nil || cur.CellsPerSecond > snap.CellsPerSecond {
+			snap = cur
+		}
 	}
 	fmt.Printf("measured %d cells in %.2fs: %.2f cells/s, %.3g simulated cycles/wall-s, %.0f allocs/cell\n",
 		snap.Cells, snap.WallSeconds, snap.CellsPerSecond, snap.CyclesPerWallSecond, snap.AllocsPerCell)

@@ -1,0 +1,282 @@
+// Command xeonctl is the client for cmd/xeond, the experiment daemon.
+// It submits studies and cells over HTTP+JSON, follows the progress
+// stream, and downloads finished artifacts — which are byte-identical to
+// a local `xeonchar -export-json` run, so `xeonctl study -out dir` plus
+// `diff -r dir testdata/golden` is the whole remote-equivalence check
+// (and exactly what the server-smoke CI job does).
+//
+//	xeonctl -server http://127.0.0.1:7788 study -name single -scale 0.1 -out out/
+//	xeonctl -server http://127.0.0.1:7788 cell -benchmarks CG,FT -config 2P-2C-SMT
+//	xeonctl -server http://127.0.0.1:7788 status job-1
+//	xeonctl -server http://127.0.0.1:7788 cancel job-1
+//	xeonctl -server http://127.0.0.1:7788 metrics
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xeonomp/internal/server"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://127.0.0.1:7788", "base URL of the xeond daemon")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: xeonctl [-server URL] <study|cell|status|cancel|metrics> [args]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*serverURL, "/")}
+	var err error
+	switch args[0] {
+	case "study":
+		err = c.study(args[1:])
+	case "cell":
+		err = c.cell(args[1:])
+	case "status":
+		err = c.status(args[1:])
+	case "cancel":
+		err = c.cancel(args[1:])
+	case "metrics":
+		err = c.metrics()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xeonctl:", err)
+		os.Exit(1)
+	}
+}
+
+type client struct{ base string }
+
+// doJSON performs one request and decodes the JSON response into out,
+// turning non-2xx responses into errors carrying the server's message.
+func (c *client) doJSON(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// Best-effort drain; the response is already consumed or failed.
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s (%s)", method, path, e.Error, resp.Status)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// study submits a study, optionally follows it to completion, and
+// optionally downloads its artifacts.
+func (c *client) study(args []string) error {
+	fs := flag.NewFlagSet("study", flag.ExitOnError)
+	name := fs.String("name", "single", "study to run: single, pair or cross")
+	scale := fs.Float64("scale", 0, "workload scale (0: server default 1.0)")
+	seed := fs.Uint64("seed", 0, "trial seed (0: server default 1)")
+	policy := fs.String("policy", "", "placement policy (empty: alternate)")
+	wait := fs.Bool("wait", true, "stream progress and wait for the job to finish")
+	out := fs.String("out", "", "directory to download finished artifacts into (implies -wait)")
+	quiet := fs.Bool("q", false, "suppress the per-cell progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var st server.StudyStatus
+	req := server.StudyRequest{Study: *name, Scale: *scale, Seed: *seed, Policy: *policy}
+	if err := c.doJSON(http.MethodPost, "/api/v1/study", req, &st); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xeonctl: submitted %s as %s (%d cells)\n", st.Study, st.ID, st.Cells)
+	if !*wait && *out == "" {
+		return printJSON(st)
+	}
+	if err := c.follow(st.ID, *quiet); err != nil {
+		return err
+	}
+	if err := c.doJSON(http.MethodGet, "/api/v1/study/"+st.ID, nil, &st); err != nil {
+		return err
+	}
+	if st.State != server.StateDone {
+		// Print the terminal status before failing so scripts see why.
+		_ = printJSON(st)
+		return fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
+	}
+	if *out != "" {
+		if err := c.download(st, *out); err != nil {
+			return err
+		}
+	}
+	return printJSON(st)
+}
+
+// follow streams /progress/{id} until the job reaches a terminal state.
+func (c *client) follow(id string, quiet bool) error {
+	resp, err := http.Get(c.base + "/progress/" + id)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// The stream ended or errored; nothing left to read either way.
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("progress %s: %s", id, resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e server.Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if e.State != "" {
+			return nil
+		}
+		if !quiet {
+			tag := ""
+			if e.Cached {
+				tag = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "xeonctl: [%d/%d] %s%s\n", e.Done, e.Total, e.Cell, tag)
+		}
+	}
+}
+
+// download writes every artifact of a done job into dir, verbatim.
+func (c *client) download(st server.StudyStatus, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range st.Artifacts {
+		resp, err := http.Get(c.base + "/api/v1/study/" + st.ID + "/artifacts/" + name)
+		if err != nil {
+			return err
+		}
+		b, err := io.ReadAll(resp.Body)
+		// Fully read above; close cannot add information.
+		_ = resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("artifact %s: %s", name, resp.Status)
+		}
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "xeonctl: wrote", path)
+	}
+	return nil
+}
+
+// cell runs one simulation cell synchronously and prints the response.
+func (c *client) cell(args []string) error {
+	fs := flag.NewFlagSet("cell", flag.ExitOnError)
+	benchmarks := fs.String("benchmarks", "", "comma-separated program names (1 or 2, e.g. CG or CG,FT)")
+	cfg := fs.String("config", "", "Table-1 configuration name")
+	scale := fs.Float64("scale", 0, "workload scale (0: server default 1.0)")
+	seed := fs.Uint64("seed", 0, "trial seed (0: server default 1)")
+	policy := fs.String("policy", "", "placement policy (empty: alternate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := server.CellRequest{Config: *cfg, Scale: *scale, Seed: *seed, Policy: *policy}
+	for _, b := range strings.Split(*benchmarks, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			req.Benchmarks = append(req.Benchmarks, b)
+		}
+	}
+	var resp server.CellResponse
+	if err := c.doJSON(http.MethodPost, "/api/v1/cell", req, &resp); err != nil {
+		return err
+	}
+	return printJSON(resp)
+}
+
+func (c *client) status(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: xeonctl status <job-id>")
+	}
+	var st server.StudyStatus
+	if err := c.doJSON(http.MethodGet, "/api/v1/study/"+args[0], nil, &st); err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func (c *client) cancel(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: xeonctl cancel <job-id>")
+	}
+	var st server.StudyStatus
+	if err := c.doJSON(http.MethodDelete, "/api/v1/study/"+args[0], nil, &st); err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+// metrics dumps the daemon's /metrics snapshot to stdout.
+func (c *client) metrics() error {
+	resp, err := http.Get(c.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// Fully copied below; close cannot add information.
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: %s", resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// printJSON writes v to stdout as indented JSON, the machine-readable
+// half of every subcommand's output.
+func printJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(b))
+	return err
+}

@@ -1,0 +1,117 @@
+// Command xeond is the experiment daemon: the simulation engine behind a
+// stdlib-only HTTP+JSON API (internal/server). Start it once, point any
+// number of clients — cmd/xeonctl, curl, CI — at it, and identical cells
+// across all of them cost one simulation: in-flight duplicates share a
+// computation (core.Dedupe), finished cells come from the shared run
+// cache, and a global gate bounds total simulation concurrency.
+//
+//	xeond -addr 127.0.0.1:7788 -cache-dir ~/.cache/xeonomp \
+//	      -journal-dir /var/lib/xeond/journals
+//
+// Endpoints (see ARCHITECTURE.md, "The experiment server"):
+//
+//	GET  /healthz                              liveness
+//	GET  /metrics                              obs metric registry (JSON)
+//	POST /api/v1/cell                          one cell, synchronous
+//	POST /api/v1/study                         submit a study job (202)
+//	GET  /api/v1/study                         list jobs
+//	GET  /api/v1/study/{id}                    job status
+//	DELETE /api/v1/study/{id}                  cancel a job
+//	GET  /api/v1/study/{id}/artifacts/{name}   canonical artifact bytes
+//	GET  /progress/{id}                        NDJSON progress stream
+//
+// Artifact responses are byte-identical to the files a local
+// `xeonchar -export-json` writes for the same study and options — the
+// server-smoke CI job diffs them against testdata/golden on every push.
+//
+// -addr supports ":0" for an ephemeral port; -addr-file then publishes
+// the bound address for scripts. SIGINT/SIGTERM drain cleanly: running
+// studies are canceled between cells and their journals keep the
+// completed tail, so resubmitting the same request after a restart
+// resumes instead of recomputing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xeonomp/internal/runcache"
+	"xeonomp/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7788", "listen address (use :0 for an ephemeral port)")
+		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file once serving")
+		cacheDir   = flag.String("cache-dir", "", "persistent run-cache directory (empty: in-memory cache only)")
+		journalDir = flag.String("journal-dir", "", "per-study journal directory (empty: no journals, no resume)")
+		workers    = flag.Int("workers", 0, "simulation concurrency across all requests (0: GOMAXPROCS)")
+		maxCells   = flag.Int("max-cells", 0, "per-request cell budget; larger studies get 429 (0: 256)")
+		maxStudies = flag.Int("max-studies", 0, "concurrent study jobs; excess submissions get 429 (0: 4)")
+		maxScale   = flag.Float64("max-scale", 0, "largest accepted per-request scale (0: 1.0)")
+	)
+	flag.Parse()
+	if err := run(*addr, *addrFile, *cacheDir, *journalDir, *workers, *maxCells, *maxStudies, *maxScale); err != nil {
+		fmt.Fprintln(os.Stderr, "xeond:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile, cacheDir, journalDir string, workers, maxCells, maxStudies int, maxScale float64) error {
+	cache, err := runcache.New(0, cacheDir)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Cache:                cache,
+		JournalDir:           journalDir,
+		Workers:              workers,
+		MaxCellsPerRequest:   maxCells,
+		MaxConcurrentStudies: maxStudies,
+		MaxScale:             maxScale,
+	})
+	defer func() {
+		// Shutdown path; journal-close errors land on stderr below.
+		if cerr := srv.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "xeond: close:", cerr)
+		}
+	}()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, "xeond: serving on", bound)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "xeond: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutCtx)
+}

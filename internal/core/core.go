@@ -77,6 +77,12 @@ type Options struct {
 	// identical by contract (the equivalence tests pin this); the switch
 	// exists for those tests and for A/B benchmarking the engine.
 	Reference bool
+	// Backend executes the cells. nil selects Local(), the in-process
+	// path; the experiment server layers Dedupe and Gate on top, and the
+	// seam is where a remote shard would plug in. Backends never affect
+	// results — a cell's identity (CacheKey) deliberately excludes the
+	// backend, and the golden artifacts pin the equivalence.
+	Backend Backend
 }
 
 // DefaultOptions returns full-scale options with the paper's platform.
@@ -166,7 +172,11 @@ func Run(w Workload, cfg config.Configuration, opt Options) (*RunResult, error) 
 }
 
 // RunContext executes workload w under configuration cfg and returns
-// per-program results. Every run uses a machine in power-on state —
+// per-program results. The cell is dispatched through Options.Backend
+// (nil means Local()), so the same orchestration serves in-process runs,
+// deduped server-side execution, and future remote shards; the span,
+// counter, and progress accounting here covers every backend. Every run
+// uses a machine in power-on state —
 // freshly built or recycled through the machine pool, which is
 // indistinguishable — mirroring the paper's independent trials. When Options carries a run cache or
 // journal, the cell is served from there when possible and recorded after
@@ -184,6 +194,10 @@ func RunContext(ctx context.Context, w Workload, cfg config.Configuration, opt O
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	backend := opt.Backend
+	if backend == nil {
+		backend = Local()
+	}
 	ctx, sp := obs.StartSpan(ctx, "cell", "benchmark", w.Name(), "config", cfg.Name)
 	defer sp.End()
 	t := obs.StartTimer()
@@ -192,12 +206,8 @@ func RunContext(ctx context.Context, w Workload, cfg config.Configuration, opt O
 		cached bool
 		err    error
 	)
-	obs.DoCell(ctx, w.Name(), cfg.Name, func(context.Context) {
-		if opt.Cache == nil && opt.Journal == nil {
-			res, err = runUncached(w, cfg, opt)
-		} else {
-			res, cached, err = runCached(w, cfg, opt)
-		}
+	obs.DoCell(ctx, w.Name(), cfg.Name, func(ctx context.Context) {
+		res, cached, err = backend.RunCell(ctx, w, cfg, opt)
 	})
 	if err != nil {
 		return nil, err

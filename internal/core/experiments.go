@@ -26,6 +26,54 @@ type Study interface {
 	Artifacts() ([]*golden.Artifact, error)
 }
 
+// StudyNames lists the studies NewStudy can build, in paper order.
+func StudyNames() []string { return []string{"single", "pair", "cross"} }
+
+// NewStudy builds an empty study by its short name: "single" (Figures
+// 2/3, Table 2), "pair" (Figure 4) or "cross" (Figure 5). The experiment
+// server and CLI share this registry, so a study name means the same
+// cells everywhere.
+func NewStudy(name string) (Study, error) {
+	switch name {
+	case "single":
+		return NewSingleStudy(), nil
+	case "pair":
+		return NewPairStudy(), nil
+	case "cross":
+		return NewCrossStudy(), nil
+	}
+	return nil, fmt.Errorf("core: unknown study %q (have %v)", name, StudyNames())
+}
+
+// StudyCells returns how many simulation cells study name will run —
+// the admission-control estimate the experiment server budgets requests
+// with. It mirrors the AddTotal accounting of each study's Run.
+func StudyCells(name string) (int, error) {
+	switch name {
+	case "single":
+		return len(profiles.StudiedNames()) * len(config.Table1()), nil
+	case "pair":
+		wls, err := Figure4Workloads()
+		if err != nil {
+			return 0, err
+		}
+		uniq := map[string]bool{}
+		for _, w := range wls {
+			for _, p := range w.Programs {
+				uniq[p.Name] = true
+			}
+		}
+		return len(uniq) + len(wls)*len(config.Table1()), nil
+	case "cross":
+		pairs, err := CrossPairs()
+		if err != nil {
+			return 0, err
+		}
+		return len(profiles.StudiedNames()) + len(pairs)*len(config.Multithreaded()), nil
+	}
+	return 0, fmt.Errorf("core: unknown study %q (have %v)", name, StudyNames())
+}
+
 // forEachJob runs fn over 0..n-1 with the given worker count (<=1 means
 // sequential). Workers always drain the job channel — even after a
 // failure or context cancellation — so the producer can never deadlock;

@@ -85,6 +85,12 @@ func WithProgress(p *journal.Progress) Option {
 	return func(o *Options) { o.Progress = p }
 }
 
+// WithBackend routes cell execution through b (nil = Local()); see the
+// Backend interface for the seam's contract.
+func WithBackend(b Backend) Option {
+	return func(o *Options) { o.Backend = b }
+}
+
 // validateBounds holds the checks shared by NewOptions and Run beyond the
 // historical scale/warmup ones; kept with the options so a new field's
 // option and its validation land together.

@@ -51,4 +51,23 @@ const (
 	MetricCoreCellNs        = "core.cell_ns"
 	MetricCoreWorkers       = "core.workers"
 	MetricCoreWorkerUtil    = "core.worker_utilization"
+
+	// In-flight cell dedupe (core.Dedupe): leaders computed a cell,
+	// shared counts identical concurrent requests served the leader's
+	// result. leaders+misses of the dedupe layer equal unique in-flight
+	// cells; shared is simulation work a shared server avoided.
+	MetricCoreFlightLeaders = "core.flight_leaders"
+	MetricCoreFlightShared  = "core.flight_shared"
+
+	// Experiment server (internal/server): HTTP traffic and latency,
+	// study-job lifecycle, and admission-control rejections (the 429s).
+	// active_studies is the gauge of study jobs currently running.
+	MetricServerRequests        = "server.http_requests"
+	MetricServerRequestNs       = "server.http_request_ns"
+	MetricServerStudiesAccepted = "server.studies_accepted"
+	MetricServerStudiesDone     = "server.studies_done"
+	MetricServerStudiesFailed   = "server.studies_failed"
+	MetricServerStudiesCanceled = "server.studies_canceled"
+	MetricServerRejected        = "server.rejected"
+	MetricServerActiveStudies   = "server.active_studies"
 )

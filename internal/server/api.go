@@ -1,0 +1,148 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"xeonomp/internal/counters"
+	"xeonomp/internal/sched"
+)
+
+// This file is the wire schema of the experiment server: the JSON bodies
+// cmd/xeond serves, cmd/xeonctl submits, and the tests pin. Everything
+// here is plain data — the daemon and the client share these types, so
+// the two cannot drift apart.
+
+// StudyRequest is the POST /api/v1/study body: one named study of the
+// paper plus the result-affecting knobs of core.Options. Zero values
+// select the defaults noted per field, so `{"study":"single"}` is a
+// complete full-scale request.
+type StudyRequest struct {
+	// Study is the short study name: "single", "pair" or "cross"
+	// (core.StudyNames).
+	Study string `json:"study"`
+	// Scale multiplies every benchmark's instruction budget; 0 selects
+	// 1.0, the paper's full workload. Servers cap it at their -max-scale.
+	Scale float64 `json:"scale,omitempty"`
+	// Seed is the trial seed; 0 selects 1, the golden artifacts' seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Policy is the thread-placement policy: "alternate" (default),
+	// "block", "round-robin" or "symbiotic".
+	Policy string `json:"policy,omitempty"`
+}
+
+// normalized returns the request with defaults filled in, the form the
+// server hashes, budgets, and executes.
+func (r StudyRequest) normalized() StudyRequest {
+	if r.Scale == 0 {
+		r.Scale = 1.0
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Policy == "" {
+		r.Policy = "alternate"
+	}
+	return r
+}
+
+// hash returns the content address of the normalized request — the
+// identity the server keys study journals by, so an interrupted study
+// resumes when the same request is submitted again.
+func (r StudyRequest) hash() (string, error) {
+	b, err := json.Marshal(r.normalized())
+	if err != nil {
+		return "", fmt.Errorf("server: hashing study request: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+// Job states reported in StudyStatus.State and terminal progress events.
+const (
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// StudyStatus is the GET /api/v1/study/{id} body (and the 202 response
+// to a submission). Artifacts lists the golden artifact names available
+// under /api/v1/study/{id}/artifacts/{name} once the job is done; each
+// of those responses is byte-identical to the file a local
+// `xeonchar -export-json` run writes for the same study and options.
+type StudyStatus struct {
+	ID          string   `json:"id"`
+	Study       string   `json:"study"`
+	State       string   `json:"state"`
+	Cells       int      `json:"cells"`
+	DoneCells   int      `json:"done_cells"`
+	CachedCells int      `json:"cached_cells"`
+	Error       string   `json:"error,omitempty"`
+	Artifacts   []string `json:"artifacts,omitempty"`
+}
+
+// Event is one line of the /progress/{id} stream (newline-delimited
+// JSON): a completed cell, or — when State is set — the job's terminal
+// event. Seq makes gaps visible to clients that reconnect.
+type Event struct {
+	Seq    int    `json:"seq"`
+	Cell   string `json:"cell,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	State  string `json:"state,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// CellRequest is the POST /api/v1/cell body: one simulation cell,
+// executed synchronously. Benchmarks holds one program (single-program
+// cell) or two (a co-scheduled pair, the paper's multi-program
+// methodology). Defaults mirror StudyRequest.
+type CellRequest struct {
+	Benchmarks []string `json:"benchmarks"`
+	Config     string   `json:"config"`
+	Scale      float64  `json:"scale,omitempty"`
+	Seed       uint64   `json:"seed,omitempty"`
+	Policy     string   `json:"policy,omitempty"`
+}
+
+// CellProgram is one program's outcome within a CellResponse.
+type CellProgram struct {
+	Benchmark string           `json:"benchmark"`
+	Threads   int              `json:"threads"`
+	Cycles    int64            `json:"cycles"`
+	Metrics   counters.Metrics `json:"metrics"`
+}
+
+// CellResponse is the POST /api/v1/cell response. Cached reports whether
+// the cell was served from the shared run cache, journal, or an
+// identical in-flight computation rather than simulated for this call.
+type CellResponse struct {
+	Cached     bool          `json:"cached"`
+	WallCycles int64         `json:"wall_cycles"`
+	Programs   []CellProgram `json:"programs"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// parsePolicy maps the wire policy names onto sched placement policies,
+// the same names cmd/xeonchar's -policy flag accepts.
+func parsePolicy(s string) (sched.Policy, error) {
+	switch s {
+	case "", "alternate":
+		return sched.Alternate, nil
+	case "block":
+		return sched.Block, nil
+	case "round-robin":
+		return sched.RoundRobin, nil
+	case "symbiotic":
+		return sched.Symbiotic, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (have alternate, block, round-robin, symbiotic)", s)
+}

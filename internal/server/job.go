@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/core"
+)
+
+// job is one asynchronous study execution: the request, the study it
+// builds, the event log its cells append to (the journal the
+// /progress/{id} stream serves), and — once terminal — the canonical
+// golden artifact bytes. All mutable state is guarded by mu; cond wakes
+// progress subscribers on every appended event.
+type job struct {
+	id    string
+	hash  string
+	req   StudyRequest
+	study core.Study
+	total int
+	// cancel aborts the job's context; DELETE /api/v1/study/{id} and
+	// server shutdown both land here. Set before the job goroutine
+	// starts, immutable afterwards.
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     string
+	err       error
+	events    []Event
+	done      int
+	cached    int
+	names     []string          // artifact names, study order
+	artifacts map[string][]byte // canonical golden JSON by name
+}
+
+func newJob(id, hash string, req StudyRequest, study core.Study, total int, cancel context.CancelFunc) *job {
+	j := &job{
+		id:     id,
+		hash:   hash,
+		req:    req,
+		study:  study,
+		total:  total,
+		cancel: cancel,
+		state:  StateRunning,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// cellDone appends one completed-cell event; the recording backend calls
+// it after every successful RunCell of this job.
+func (j *job) cellDone(cell string, cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done++
+	if cached {
+		j.cached++
+	}
+	j.events = append(j.events, Event{
+		Seq:    len(j.events) + 1,
+		Cell:   cell,
+		Cached: cached,
+		Done:   j.done,
+		Total:  j.total,
+	})
+	j.cond.Broadcast()
+}
+
+// finish records the terminal state, the artifacts (nil unless done),
+// and the terminal event, then wakes every subscriber one last time.
+func (j *job) finish(state string, err error, names []string, artifacts map[string][]byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.err = err
+	j.names = names
+	j.artifacts = artifacts
+	e := Event{Seq: len(j.events) + 1, Done: j.done, Total: j.total, State: state}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	j.events = append(j.events, e)
+	j.cond.Broadcast()
+}
+
+// status snapshots the job as its wire representation.
+func (j *job) status() StudyStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := StudyStatus{
+		ID:          j.id,
+		Study:       j.req.Study,
+		State:       j.state,
+		Cells:       j.total,
+		DoneCells:   j.done,
+		CachedCells: j.cached,
+		Artifacts:   append([]string(nil), j.names...),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// artifact returns the canonical bytes of one finished artifact.
+func (j *job) artifact(name string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b, ok := j.artifacts[name]
+	return b, ok
+}
+
+// stream replays the job's event log through fn in order, then blocks
+// for new events until the job is terminal, fn fails (a disconnected
+// subscriber), or ctx ends. Late subscribers see the full history: the
+// event log is the job's journal, not a lossy broadcast.
+func (j *job) stream(ctx context.Context, fn func(Event) error) error {
+	// cond.Wait cannot select on ctx; a cancellation wakes all waiters
+	// and the loop re-checks ctx below.
+	stopWake := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.cond.Broadcast()
+	})
+	defer stopWake()
+	i := 0
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		for i < len(j.events) {
+			e := j.events[i]
+			i++
+			j.mu.Unlock()
+			err := fn(e)
+			j.mu.Lock()
+			if err != nil {
+				return err
+			}
+		}
+		if j.state != StateRunning {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		j.cond.Wait()
+	}
+}
+
+// recordingBackend threads one job's event log into the backend stack:
+// every cell the study completes — simulated, cached, or deduped — lands
+// in the job's events, which is what /progress/{id} streams. It wraps
+// the server's shared Dedupe/Gate stack, so recording sits outside
+// dedupe and each job sees its own cells regardless of which job's
+// leader computed them.
+type recordingBackend struct {
+	job   *job
+	inner core.Backend
+}
+
+func (b *recordingBackend) RunCell(ctx context.Context, w core.Workload, cfg config.Configuration, opt core.Options) (*core.RunResult, bool, error) {
+	res, cached, err := b.inner.RunCell(ctx, w, cfg, opt)
+	if err == nil {
+		b.job.cellDone(w.Name()+"|"+cfg.Name, cached)
+	}
+	return res, cached, err
+}

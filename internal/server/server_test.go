@@ -1,0 +1,581 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xeonomp/internal/config"
+	"xeonomp/internal/core"
+	"xeonomp/internal/journal"
+	"xeonomp/internal/runcache"
+	"xeonomp/internal/sched"
+)
+
+// testScale keeps HTTP-level study runs fast; the byte-identity test
+// recomputes its local reference at the same scale, so any value works.
+const testScale = 0.02
+
+// newTestServer boots a Server behind httptest and tears both down with
+// the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// postJSON posts body and decodes the response into out, returning the
+// status code.
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Body fully consumed by the decode below.
+		_ = resp.Body.Close()
+	}()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// getJSON fetches url into out, returning the status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Body fully consumed by the decode below.
+		_ = resp.Body.Close()
+	}()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// followProgress consumes the /progress/{id} stream until the terminal
+// event and returns every event received.
+func followProgress(t *testing.T, base, id string) []Event {
+	t.Helper()
+	resp, err := http.Get(base + "/progress/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Stream fully consumed (or the test already failed).
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress %s: status %d", id, resp.StatusCode)
+	}
+	var events []Event
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("progress stream broke before a terminal event: %v", err)
+		}
+		events = append(events, e)
+		if e.State != "" {
+			return events
+		}
+	}
+}
+
+// metricCounter scrapes one counter from the /metrics endpoint.
+func metricCounter(t *testing.T, base, name string) float64 {
+	t.Helper()
+	var m struct {
+		Counters map[string]float64 `json:"counters"`
+	}
+	if code := getJSON(t, base+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	return m.Counters[name]
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var h map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, h)
+	}
+	var m struct {
+		Counters map[string]float64 `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if _, ok := m.Counters["server.http_requests"]; !ok {
+		t.Error("metrics snapshot is missing server.http_requests")
+	}
+}
+
+func TestCellEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var resp CellResponse
+	code := postJSON(t, ts.URL+"/api/v1/cell",
+		CellRequest{Benchmarks: []string{"CG"}, Config: "Serial", Scale: testScale}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("cell: status %d", code)
+	}
+	if len(resp.Programs) != 1 || resp.Programs[0].Benchmark != "CG" || resp.WallCycles <= 0 {
+		t.Fatalf("cell response malformed: %+v", resp)
+	}
+
+	// The same cell again: no cache is configured, so it recomputes and
+	// still reports cached=false; with a cache it must flip to true.
+	_, tsCached := newTestServer(t, Config{Cache: newMemCache(t)})
+	req := CellRequest{Benchmarks: []string{"CG"}, Config: "Serial", Scale: testScale}
+	var first, second CellResponse
+	if code := postJSON(t, tsCached.URL+"/api/v1/cell", req, &first); code != http.StatusOK {
+		t.Fatalf("first cell: status %d", code)
+	}
+	if code := postJSON(t, tsCached.URL+"/api/v1/cell", req, &second); code != http.StatusOK {
+		t.Fatalf("second cell: status %d", code)
+	}
+	if first.Cached || !second.Cached {
+		t.Errorf("cache flags: first=%v second=%v, want false/true", first.Cached, second.Cached)
+	}
+	if first.WallCycles != second.WallCycles {
+		t.Errorf("cached cell changed results: %d vs %d", first.WallCycles, second.WallCycles)
+	}
+}
+
+func TestCellEndpointRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []CellRequest{
+		{Benchmarks: []string{"CG"}, Config: "no-such-config"},
+		{Benchmarks: []string{"no-such-benchmark"}, Config: "Serial"},
+		{Benchmarks: nil, Config: "Serial"},
+		{Benchmarks: []string{"CG", "FT", "BT"}, Config: "Serial"},
+		{Benchmarks: []string{"CG"}, Config: "Serial", Scale: 2.5}, // over MaxScale
+	}
+	for _, req := range cases {
+		var e ErrorResponse
+		if code := postJSON(t, ts.URL+"/api/v1/cell", req, &e); code != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400", req, code)
+		} else if e.Error == "" {
+			t.Errorf("%+v: empty error body", req)
+		}
+	}
+}
+
+func newMemCache(t *testing.T) *runcache.Cache {
+	t.Helper()
+	c, err := runcache.New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStudyOverHTTPByteIdentity is the remote-equivalence contract: the
+// artifact bytes served by the HTTP API are byte-for-byte the canonical
+// golden JSON a local run of the same study produces.
+func TestStudyOverHTTPByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study over HTTP")
+	}
+	_, ts := newTestServer(t, Config{})
+
+	var st StudyStatus
+	if code := postJSON(t, ts.URL+"/api/v1/study", StudyRequest{Study: "single", Scale: testScale}, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%+v)", code, st)
+	}
+	events := followProgress(t, ts.URL, st.ID)
+	last := events[len(events)-1]
+	if last.State != StateDone {
+		t.Fatalf("study finished %s: %s", last.State, last.Error)
+	}
+	for i, e := range events {
+		if e.Seq != i+1 {
+			t.Fatalf("event %d has seq %d; the stream must replay the full ordered history", i, e.Seq)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/study/"+st.ID, &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	wantCells, err := core.StudyCells("single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DoneCells != wantCells || len(events) != wantCells+1 {
+		t.Errorf("done %d cells, %d events; want %d cells", st.DoneCells, len(events), wantCells)
+	}
+
+	// The local reference: same study, same knobs, no server.
+	study, err := core.NewStudy("single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.NewOptions(core.WithScale(testScale), core.WithSeed(1), core.WithPolicy(sched.Alternate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := study.Run(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	arts, err := study.Artifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(st.Artifacts) {
+		t.Fatalf("server lists %d artifacts, local run has %d", len(st.Artifacts), len(arts))
+	}
+	for _, a := range arts {
+		want, err := a.MarshalCanonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Get(ts.URL + "/api/v1/study/" + st.ID + "/artifacts/" + a.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		// Fully read above.
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("artifact %s: status %d", a.Name, resp.StatusCode)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("artifact %s served over HTTP differs from the local canonical bytes", a.Name)
+		}
+	}
+}
+
+// holdBackend delegates to core.Local but parks executions until release
+// is closed, so tests can hold cells in flight deterministically.
+type holdBackend struct {
+	entered atomic.Int64
+	// free cells pass straight through before parking starts.
+	free    int64
+	release chan struct{}
+}
+
+func (b *holdBackend) RunCell(ctx context.Context, w core.Workload, cfg config.Configuration, opt core.Options) (*core.RunResult, bool, error) {
+	if b.entered.Add(1) > b.free {
+		select {
+		case <-b.release:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	return core.Local().RunCell(ctx, w, cfg, opt)
+}
+
+// TestConcurrentIdenticalCellsDedupe pins the singleflight behaviour end
+// to end: two clients POST the identical cell at the same time, exactly
+// one simulation happens, and the obs counters expose the shared flight.
+func TestConcurrentIdenticalCellsDedupe(t *testing.T) {
+	hold := &holdBackend{release: make(chan struct{})}
+	_, ts := newTestServer(t, Config{Backend: hold, Workers: 4})
+
+	sharedBefore := metricCounter(t, ts.URL, "core.flight_shared")
+	leadersBefore := metricCounter(t, ts.URL, "core.flight_leaders")
+
+	req := CellRequest{Benchmarks: []string{"CG"}, Config: "Serial", Scale: testScale}
+	var wg sync.WaitGroup
+	responses := make([]CellResponse, 2)
+	codes := make([]int, 2)
+	for i := range responses {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = postJSON(t, ts.URL+"/api/v1/cell", req, &responses[i])
+		}(i)
+	}
+	// The leader is parked inside the backend; release once the second
+	// request has joined the flight (visible as a shared-flight count).
+	deadline := time.Now().Add(10 * time.Second)
+	for metricCounter(t, ts.URL, "core.flight_shared")-sharedBefore < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never joined the in-flight cell")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(hold.release)
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	if got := hold.entered.Load(); got != 1 {
+		t.Errorf("backend executed %d cells for 2 identical concurrent requests, want 1", got)
+	}
+	if responses[0].Cached == responses[1].Cached {
+		t.Errorf("cache flags %v/%v: exactly one request computes, the other shares", responses[0].Cached, responses[1].Cached)
+	}
+	if responses[0].WallCycles != responses[1].WallCycles {
+		t.Error("shared flight served different results")
+	}
+	if d := metricCounter(t, ts.URL, "core.flight_leaders") - leadersBefore; d != 1 {
+		t.Errorf("flight_leaders moved by %g, want 1", d)
+	}
+	if d := metricCounter(t, ts.URL, "core.flight_shared") - sharedBefore; d != 1 {
+		t.Errorf("flight_shared moved by %g, want 1", d)
+	}
+}
+
+// TestStudyCancellationLeavesReplayableJournal cancels a study mid-run
+// and pins the crash-safety contract: the journal holds every completed
+// cell (no torn tail), and resubmitting the same request resumes from it
+// instead of recomputing.
+func TestStudyCancellationLeavesReplayableJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study over HTTP")
+	}
+	dir := t.TempDir()
+	hold := &holdBackend{free: 3, release: make(chan struct{})}
+	s, ts := newTestServer(t, Config{Backend: hold, JournalDir: dir, Workers: 2})
+
+	req := StudyRequest{Study: "single", Scale: testScale}
+	var st StudyStatus
+	if code := postJSON(t, ts.URL+"/api/v1/study", req, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	// Wait until some cells completed and the rest are parked.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cur StudyStatus
+		if code := getJSON(t, ts.URL+"/api/v1/study/"+st.ID, &cur); code != http.StatusOK {
+			t.Fatalf("status: %d", code)
+		}
+		if cur.DoneCells >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("study never completed its free cells")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	delReq, err := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/study/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", r.StatusCode)
+	}
+	// The cancel response body is the (possibly still running) status;
+	// the progress stream below observes the terminal state.
+	_ = r.Body.Close()
+
+	events := followProgress(t, ts.URL, st.ID)
+	last := events[len(events)-1]
+	if last.State != StateCanceled {
+		t.Fatalf("terminal state %q, want %q (error: %s)", last.State, StateCanceled, last.Error)
+	}
+	var cur StudyStatus
+	if code := getJSON(t, ts.URL+"/api/v1/study/"+st.ID, &cur); code != http.StatusOK || cur.State != StateCanceled {
+		t.Fatalf("status after cancel: %d %+v", code, cur)
+	}
+	// Artifacts must not exist for a canceled job.
+	if code := getJSON(t, ts.URL+"/api/v1/study/"+st.ID+"/artifacts/figure2", nil); code != http.StatusConflict {
+		t.Errorf("artifact of canceled job: status %d, want 409", code)
+	}
+
+	// Release the server's journal handle, then inspect the tail.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hash, err := req.hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn, err := journal.Open(filepath.Join(dir, hash+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := jn.Len()
+	skipped := jn.Skipped()
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if replayed < 2 {
+		t.Fatalf("journal replays %d cells after cancellation, want >= 2", replayed)
+	}
+	if skipped != 0 {
+		t.Fatalf("journal tail is torn: %d undecodable lines", skipped)
+	}
+
+	// Resume: a fresh server over the same journal dir serves the
+	// completed tail without recomputing it.
+	resumeHold := &holdBackend{free: 1 << 30, release: make(chan struct{})}
+	_, ts2 := newTestServer(t, Config{Backend: resumeHold, JournalDir: dir, Workers: 2})
+	var st2 StudyStatus
+	if code := postJSON(t, ts2.URL+"/api/v1/study", req, &st2); code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	events2 := followProgress(t, ts2.URL, st2.ID)
+	if last := events2[len(events2)-1]; last.State != StateDone {
+		t.Fatalf("resumed study finished %s: %s", last.State, last.Error)
+	}
+	if code := getJSON(t, ts2.URL+"/api/v1/study/"+st2.ID, &st2); code != http.StatusOK {
+		t.Fatalf("resumed status: %d", code)
+	}
+	if st2.CachedCells < replayed {
+		t.Errorf("resumed study served %d cells from cache/journal, want >= %d (the journal tail)", st2.CachedCells, replayed)
+	}
+}
+
+func TestStudyAdmissionControl(t *testing.T) {
+	// A cell budget below the study size rejects with 429 before any work.
+	_, tsBudget := newTestServer(t, Config{MaxCellsPerRequest: 1})
+	var e ErrorResponse
+	if code := postJSON(t, tsBudget.URL+"/api/v1/study", StudyRequest{Study: "single", Scale: testScale}, &e); code != http.StatusTooManyRequests {
+		t.Errorf("over-budget study: status %d, want 429", code)
+	} else if e.Error == "" {
+		t.Error("over-budget study: empty error body")
+	}
+	rejected := metricCounter(t, tsBudget.URL, "server.rejected")
+	if rejected < 1 {
+		t.Errorf("server.rejected is %g after a 429", rejected)
+	}
+
+	// Unknown study names, policies, and oversized scales reject with 400.
+	for _, req := range []StudyRequest{
+		{Study: "no-such-study"},
+		{Study: "single", Policy: "no-such-policy"},
+		{Study: "single", Scale: 2.5},
+	} {
+		if code := postJSON(t, tsBudget.URL+"/api/v1/study", req, nil); code != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400", req, code)
+		}
+	}
+
+	// A saturated server rejects the next study with 429.
+	hold := &holdBackend{release: make(chan struct{})}
+	defer close(hold.release)
+	_, tsSat := newTestServer(t, Config{Backend: hold, MaxConcurrentStudies: 1, Workers: 1})
+	var st StudyStatus
+	if code := postJSON(t, tsSat.URL+"/api/v1/study", StudyRequest{Study: "single", Scale: testScale}, &st); code != http.StatusAccepted {
+		t.Fatalf("first study: status %d", code)
+	}
+	if code := postJSON(t, tsSat.URL+"/api/v1/study", StudyRequest{Study: "pair", Scale: testScale}, &e); code != http.StatusTooManyRequests {
+		t.Errorf("second study on a saturated server: status %d, want 429", code)
+	}
+}
+
+func TestUnknownJobRoutes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, url := range []string{
+		ts.URL + "/api/v1/study/job-999",
+		ts.URL + "/api/v1/study/job-999/artifacts/figure2",
+		ts.URL + "/progress/job-999",
+	} {
+		if code := getJSON(t, url, nil); code != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", url, code)
+		}
+	}
+}
+
+func TestStudyList(t *testing.T) {
+	hold := &holdBackend{release: make(chan struct{})}
+	defer close(hold.release)
+	_, ts := newTestServer(t, Config{Backend: hold, Workers: 1, MaxConcurrentStudies: 2})
+	var first, second StudyStatus
+	if code := postJSON(t, ts.URL+"/api/v1/study", StudyRequest{Study: "single", Scale: testScale}, &first); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/v1/study", StudyRequest{Study: "pair", Scale: testScale}, &second); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	var list []StudyStatus
+	if code := getJSON(t, ts.URL+"/api/v1/study", &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list) != 2 || list[0].ID != first.ID || list[1].ID != second.ID {
+		t.Fatalf("list %+v, want [%s %s] in submission order", list, first.ID, second.ID)
+	}
+}
+
+// TestRequestHashStability pins the request identity the journal files
+// are keyed by: defaults and their explicit spellings hash identically,
+// different knobs differently.
+func TestRequestHashStability(t *testing.T) {
+	h := func(r StudyRequest) string {
+		t.Helper()
+		s, err := r.hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if h(StudyRequest{Study: "single"}) != h(StudyRequest{Study: "single", Scale: 1.0, Seed: 1, Policy: "alternate"}) {
+		t.Error("defaulted and explicit requests hash differently")
+	}
+	seen := map[string]StudyRequest{}
+	for _, r := range []StudyRequest{
+		{Study: "single"},
+		{Study: "pair"},
+		{Study: "single", Scale: 0.5},
+		{Study: "single", Seed: 2},
+		{Study: "single", Policy: "block"},
+	} {
+		k := h(r)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%+v and %+v collide", prev, r)
+		}
+		seen[k] = r
+	}
+}
+
+func TestStudyCellsMatchesStudyNames(t *testing.T) {
+	for _, name := range core.StudyNames() {
+		n, err := core.StudyCells(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= 0 {
+			t.Errorf("study %s reports %d cells", name, n)
+		}
+		if _, err := core.NewStudy(name); err != nil {
+			t.Errorf("NewStudy(%s): %v", name, err)
+		}
+	}
+	if _, err := core.NewStudy("bogus"); err == nil {
+		t.Error("NewStudy accepted an unknown name")
+	}
+	if _, err := core.StudyCells("bogus"); err == nil {
+		t.Error("StudyCells accepted an unknown name")
+	}
+}
