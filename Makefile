@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench bench-cache bench-snapshot check ci check-golden update-golden figures figures-cached lmbench ablations profile fmt vet lint lint-fix lint-fix-clean server-smoke clean
+.PHONY: build test test-short race race-conc bench bench-cache bench-snapshot check ci check-golden update-golden figures figures-cached lmbench ablations profile fmt vet lint lint-conc lint-fix lint-fix-clean server-smoke clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,15 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# Full (non-short) race pass over the concurrency-heavy packages the
+# goleak/lockorder analyzers police statically; CI runs this leg in its
+# test matrix. The race detector turns the full core suite's ~2 minutes
+# into ~25 (the integration shape studies are memory-access-heavy, the
+# detector's worst case), so the default 10m per-package test timeout
+# is not enough.
+race-conc:
+	$(GO) test -race -timeout 40m ./internal/server/... ./internal/core/...
+
 # One benchmark per paper table/figure; XEONOMP_BENCH_SCALE overrides the
 # per-iteration workload scale. -run '^$$' keeps the unit-test suite from
 # re-running before the benchmarks do.
@@ -25,11 +34,18 @@ bench:
 
 # Static analysis: go vet plus the repo's own analyzers (cmd/xeonlint —
 # nondeterminism taint, dimension inference, unit safety, dropped errors,
-# lock misuse, counter/golden parity). Depends on build so vet and
-# xeonlint share one warm build cache.
+# context flow, goroutine leaks, lock ordering, counter/golden parity).
+# Depends on build so vet and xeonlint share one warm build cache; -v
+# prints per-analyzer wall time so lint-job runtime regressions show up
+# in CI logs.
 lint: build
 	$(GO) vet ./...
-	$(GO) run ./cmd/xeonlint ./...
+	$(GO) run ./cmd/xeonlint -v ./...
+
+# Just the concurrency suite — the heavier interprocedural passes — for a
+# quick pre-push check of server/engine changes.
+lint-conc: build
+	$(GO) run ./cmd/xeonlint -v -only ctxflow,goleak,lockorder ./...
 
 # Apply every machine-applicable fix xeonlint proposes (magic-literal →
 # units.* rewrites, explicit `_ =` error drops), in place.

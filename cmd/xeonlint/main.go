@@ -1,7 +1,7 @@
 // Command xeonlint runs the repo's domain-specific static analyzers (see
 // internal/analysis) over the module: nondeterminism taint, dimension
-// inference, unit safety, dropped errors, lock misuse, and
-// counter/golden-schema parity.
+// inference, unit safety, dropped errors, context flow, goroutine leaks,
+// lock ordering, and counter/golden-schema parity.
 //
 // Usage:
 //
@@ -11,6 +11,9 @@
 //	xeonlint -json ./...     # one JSON finding per line, for tooling
 //	xeonlint -fix ./...      # apply the suggested fixes in place
 //	xeonlint -diff ./...     # print pending fixes as a unified diff
+//	xeonlint -only ctxflow,goleak ./...   # run a subset of analyzers
+//	xeonlint -skip taint ./...            # run all but these analyzers
+//	xeonlint -v ./...        # report per-analyzer wall time on stderr
 //
 // Findings print as "file:line:col: [analyzer] message" and make the exit
 // status 1; a load or usage problem exits 2. Under -fix, findings that
@@ -29,6 +32,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"time"
 
 	"xeonomp/internal/analysis"
 )
@@ -41,6 +46,9 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one JSON finding per line")
 		applyFix = flag.Bool("fix", false, "apply suggested fixes in place")
 		diffFix  = flag.Bool("diff", false, "print suggested fixes as a unified diff; exit 1 if any are pending")
+		only     = flag.String("only", "", "comma-separated analyzers to run exclusively")
+		skip     = flag.String("skip", "", "comma-separated analyzers to skip")
+		verbose  = flag.Bool("v", false, "report per-analyzer wall time on stderr")
 	)
 	flag.Parse()
 
@@ -50,6 +58,11 @@ func main() {
 			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
 		}
 		return
+	}
+	analyzers, err := selectAnalyzers(analyzers, *only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xeonlint:", err)
+		os.Exit(2)
 	}
 	if *applyFix && *diffFix {
 		fmt.Fprintln(os.Stderr, "xeonlint: -fix and -diff are mutually exclusive (apply, or preview)")
@@ -71,7 +84,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xeonlint:", err)
 		os.Exit(2)
 	}
-	diags := prog.Run(analyzers)
+	diags, timings := prog.RunTimed(analyzers)
+	if *verbose {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "xeonlint: %-14s %12v\n", t.Name, time.Duration(t.ElapsedNs))
+		}
+	}
 
 	if *applyFix || *diffFix {
 		fixed, err := analysis.ApplyFixes(prog, diags, os.ReadFile)
@@ -148,6 +166,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xeonlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers narrows the registry by the -only/-skip flag values,
+// preserving registry order. Unknown names are an error, not a silent
+// no-op pass.
+func selectAnalyzers(all []analysis.Analyzer, only, skip string) ([]analysis.Analyzer, error) {
+	names := map[string]bool{}
+	for _, a := range all {
+		names[a.Name()] = true
+	}
+	parse := func(flagName, v string) (map[string]bool, error) {
+		if v == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(v, ",") {
+			name = strings.TrimSpace(name)
+			if !names[name] {
+				return nil, fmt.Errorf("-%s names unknown analyzer %q (see -list)", flagName, name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []analysis.Analyzer
+	for _, a := range all {
+		if onlySet != nil && !onlySet[a.Name()] {
+			continue
+		}
+		if skipSet[a.Name()] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only/-skip selected no analyzers")
+	}
+	return out, nil
 }
 
 // relName renders a filename relative to the working directory when

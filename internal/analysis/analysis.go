@@ -7,8 +7,9 @@
 // is a dataflow engine, not just per-file AST walks: a Program computes
 // shared Facts (function index, module-wide call graph, field-use
 // relation — see facts.go) that the interprocedural passes solve their
-// fixed points over. Six analyzers guard the promises the reproduction
-// makes:
+// fixed points over, plus shared concurrency summaries (may-block,
+// lock-acquisition, WaitGroup-join facts — see conc.go). Eight analyzers
+// guard the promises the reproduction makes:
 //
 //   - taint: no wall clock, no unseeded math/rand, no map-iteration
 //     order leaking into ordered output — plus interprocedural
@@ -23,8 +24,18 @@
 //     internal/units (with a -fix rewrite to the named constant)
 //   - errdrop: no silently dropped error returns (the forEachJob bug
 //     class; bare statement drops carry a -fix `_ =` rewrite)
-//   - lockcheck: no mutexes copied by value, no goroutine fan-out writing
-//     captured state unlocked
+//   - ctxflow: cancellation reaches the blocking frontier — no fresh
+//     context roots outside main/tests, no ctx parameter dropped before
+//     a may-block callee, no unguarded channel op or cond wait, no
+//     select without a ctx.Done() arm (with -fix rewrites for roots and
+//     missing Done arms)
+//   - goleak: every goroutine has a provable termination path — a
+//     WaitGroup join someone Waits on (checked across calls), a context
+//     handed to the spawned function, or a structurally finite body
+//   - lockorder: no lock-acquisition cycles module-wide, no re-acquiring
+//     a held lock (directly or through a callee), no lock held across a
+//     blocking operation; subsumes the retired lockcheck patterns (locks
+//     copied by value, loop goroutines writing captured state unlocked)
 //   - counterparity: every counters.Metrics column and counters.Event name
 //     has a renderer/exporter twin, so golden JSON schemas cannot silently
 //     lose a column
@@ -47,6 +58,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"xeonomp/internal/obs"
 )
 
 // Diagnostic is one finding: a position, the analyzer that produced it,
@@ -119,7 +132,9 @@ func Analyzers() []Analyzer {
 		&Dimension{},
 		&UnitSafety{},
 		&ErrDrop{},
-		&LockCheck{},
+		&CtxFlow{},
+		&GoLeak{},
+		&LockOrder{},
 		&CounterParity{},
 	}
 }
@@ -184,13 +199,34 @@ func parseIgnores(fset *token.FileSet, f *ast.File, known map[string]bool) ([]*i
 	return dirs, diags
 }
 
+// AnalyzerTiming is one analyzer's wall time over the whole module, for
+// xeonlint's verbose output. The clock is read through internal/obs, the
+// module's sanctioned timing boundary.
+type AnalyzerTiming struct {
+	Name      string
+	ElapsedNs int64
+}
+
 // Run executes the analyzers over every package of the program, applies
 // the per-line ignore directives, and reports unused ignores. Diagnostics
 // come back sorted by position.
 func (p *Program) Run(analyzers []Analyzer) []Diagnostic {
+	diags, _ := p.RunTimed(analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall time, in the analyzers' order.
+func (p *Program) RunTimed(analyzers []Analyzer) ([]Diagnostic, []AnalyzerTiming) {
+	// Directives are validated against the full registry, not the running
+	// subset, so `xeonlint -only ctxflow` over a tree with errdrop ignores
+	// neither rejects those directives as unknown nor reports them unused.
 	known := map[string]bool{}
-	for _, a := range analyzers {
+	for _, a := range Analyzers() {
 		known[a.Name()] = true
+	}
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name()] = true
 	}
 
 	var diags []Diagnostic
@@ -205,8 +241,10 @@ func (p *Program) Run(analyzers []Analyzer) []Diagnostic {
 		}
 	}
 
-	for _, pkg := range p.Packages {
-		for _, a := range analyzers {
+	var timings []AnalyzerTiming
+	for _, a := range analyzers {
+		t := obs.StartTimer()
+		for _, pkg := range p.Packages {
 			for _, d := range a.Check(p, pkg) {
 				suppressed := false
 				for _, ig := range ignores[d.Pos.Filename] {
@@ -220,17 +258,47 @@ func (p *Program) Run(analyzers []Analyzer) []Diagnostic {
 				}
 			}
 		}
+		timings = append(timings, AnalyzerTiming{Name: a.Name(), ElapsedNs: t.ElapsedNs()})
 	}
 
-	for _, dirs := range ignores {
-		for _, ig := range dirs {
-			if !ig.used {
-				diags = append(diags, Diagnostic{ig.pos, "xeonlint",
-					"unused ignore directive suppresses nothing; delete it", nil})
+	files := make([]string, 0, len(ignores))
+	for f := range ignores {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, ig := range ignores[f] {
+			if ig.used {
+				continue
 			}
+			// An ignore for an analyzer that did not run this invocation
+			// cannot be judged unused.
+			if ig.analyzers != nil && !intersects(ig.analyzers, running) {
+				continue
+			}
+			diags = append(diags, Diagnostic{ig.pos, "xeonlint",
+				"unused ignore directive suppresses nothing; delete it", nil})
 		}
 	}
 
+	SortDiagnostics(diags)
+	return diags, timings
+}
+
+// intersects reports whether the two name sets share an element.
+func intersects(a, b map[string]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// SortDiagnostics orders findings deterministically — file, line, column,
+// analyzer, message — so repeated runs and -json output are diff-stable
+// regardless of package iteration or analyzer solve order.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -242,9 +310,11 @@ func (p *Program) Run(analyzers []Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
 }
 
 // calleeFunc resolves the called function or method of a call expression,

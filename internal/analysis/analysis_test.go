@@ -2,6 +2,7 @@ package analysis_test
 
 import (
 	"bufio"
+	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -121,8 +122,16 @@ func TestErrDrop(t *testing.T) {
 	checkFixture(t, "errdrop", []analysis.Analyzer{&analysis.ErrDrop{}})
 }
 
-func TestLockCheck(t *testing.T) {
-	checkFixture(t, "lockcheck", []analysis.Analyzer{&analysis.LockCheck{}})
+func TestCtxFlow(t *testing.T) {
+	checkFixture(t, "ctxflow", []analysis.Analyzer{&analysis.CtxFlow{}})
+}
+
+func TestGoLeak(t *testing.T) {
+	checkFixture(t, "goleak", []analysis.Analyzer{&analysis.GoLeak{}})
+}
+
+func TestLockOrder(t *testing.T) {
+	checkFixture(t, "lockorder", []analysis.Analyzer{&analysis.LockOrder{}})
 }
 
 func TestCounterParity(t *testing.T) {
@@ -163,15 +172,15 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 }
 
-// TestAnalyzersRegistered pins the registry: six analyzers, stable unique
-// names, non-empty docs — the contract -list and the ignore grammar rely
-// on.
+// TestAnalyzersRegistered pins the registry: eight analyzers, stable
+// unique names, non-empty docs — the contract -list and the ignore
+// grammar rely on.
 func TestAnalyzersRegistered(t *testing.T) {
 	as := analysis.Analyzers()
-	if len(as) != 6 {
-		t.Fatalf("got %d analyzers, want 6", len(as))
+	if len(as) != 8 {
+		t.Fatalf("got %d analyzers, want 8", len(as))
 	}
-	want := []string{"taint", "dimension", "unitsafety", "errdrop", "lockcheck", "counterparity"}
+	want := []string{"taint", "dimension", "unitsafety", "errdrop", "ctxflow", "goleak", "lockorder", "counterparity"}
 	for i, a := range as {
 		if a.Name() != want[i] {
 			t.Errorf("analyzer %d is %q, want %q", i, a.Name(), want[i])
@@ -260,6 +269,107 @@ func TestFixIdempotency(t *testing.T) {
 	}
 	if len(again) != 0 {
 		t.Fatalf("second fix pass still proposes edits in %d file(s)", len(again))
+	}
+}
+
+// TestSortDiagnostics pins the total diagnostic order -json output and
+// the CI problem matcher depend on: file, line, column, analyzer,
+// message — every tie broken, so shuffled input always lands in one
+// diff-stable order.
+func TestSortDiagnostics(t *testing.T) {
+	mk := func(file string, line, col int, analyzer, msg string) analysis.Diagnostic {
+		var d analysis.Diagnostic
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column = file, line, col
+		d.Analyzer, d.Message = analyzer, msg
+		return d
+	}
+	want := []analysis.Diagnostic{
+		mk("a.go", 1, 1, "ctxflow", "first"),
+		mk("a.go", 1, 1, "errdrop", "same spot, later analyzer"),
+		mk("a.go", 1, 1, "errdrop", "same spot, same analyzer, later message"),
+		mk("a.go", 1, 2, "ctxflow", "later column"),
+		mk("a.go", 2, 1, "ctxflow", "later line"),
+		mk("b.go", 1, 1, "ctxflow", "later file"),
+	}
+	// Reversed input: every comparison key must do its job to restore it.
+	got := make([]analysis.Diagnostic, len(want))
+	for i := range want {
+		got[len(want)-1-i] = want[i]
+	}
+	analysis.SortDiagnostics(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("position %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestApplyFixesOverlap pins the overlap contract for fixes from two
+// analyzers aimed at the same line: non-overlapping edits all apply,
+// truly overlapping edits resolve deterministically to the earlier start
+// regardless of the order diagnostics arrive in.
+func TestApplyFixesOverlap(t *testing.T) {
+	prog, root := loadFixture(t, "ignores")
+	var file string
+	var base int // token.Pos offset base of the first fixture file
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			file = prog.Fset.Position(f.Pos()).Filename
+			base = int(f.FileStart)
+			break
+		}
+		break
+	}
+	_ = root
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edit := func(start, end int, text string) *analysis.SuggestedFix {
+		return &analysis.SuggestedFix{Message: "test edit", Edits: []analysis.TextEdit{{
+			Pos: token.Pos(base + start), End: token.Pos(base + end), NewText: text,
+		}}}
+	}
+	diag := func(analyzer string, fix *analysis.SuggestedFix) analysis.Diagnostic {
+		var d analysis.Diagnostic
+		d.Pos.Filename = file
+		d.Analyzer = analyzer
+		d.Message = "synthetic"
+		d.Fix = fix
+		return d
+	}
+
+	// Same line, non-overlapping: an insertion at column 0 (ctxflow) and a
+	// replacement at columns 3-5 (errdrop) must both land.
+	both := []analysis.Diagnostic{
+		diag("ctxflow", edit(0, 0, "A")),
+		diag("errdrop", edit(3, 5, "BB")),
+	}
+	fixed, err := analysis.ApplyFixes(prog, both, os.ReadFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBoth := "A" + string(src[:3]) + "BB" + string(src[5:])
+	if got := string(fixed[file]); got != wantBoth {
+		t.Errorf("non-overlapping same-line edits: got %q..., want %q...", got[:10], wantBoth[:10])
+	}
+
+	// Truly overlapping ranges: earlier start wins, and the outcome is the
+	// same whichever analyzer's diagnostic comes first.
+	overlapping := [][]analysis.Diagnostic{
+		{diag("ctxflow", edit(0, 4, "X")), diag("errdrop", edit(2, 6, "Y"))},
+		{diag("errdrop", edit(2, 6, "Y")), diag("ctxflow", edit(0, 4, "X"))},
+	}
+	wantOverlap := "X" + string(src[4:])
+	for i, diags := range overlapping {
+		fixed, err := analysis.ApplyFixes(prog, diags, os.ReadFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(fixed[file]); got != wantOverlap {
+			t.Errorf("overlap order %d: got %q..., want earlier-start edit to win", i, got[:10])
+		}
 	}
 }
 

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces that cancellation actually reaches the places that can
+// block. The server era (cmd/xeond) made context.Context the lifetime
+// currency of the module: a study request's ctx must be able to preempt
+// every channel hand-off, cond wait, and backend call downstream of it,
+// or Ctrl-C and client disconnects strand goroutines mid-cell. Four rules:
+//
+//   - no fresh roots: context.Background()/TODO() outside package main,
+//     tests, Deprecated compat shims, and single-statement wrappers is a
+//     finding (with a -fix replacing it when a ctx parameter is in scope)
+//   - no dropped ctx at the frontier: a function holding a ctx parameter
+//     must not call a module function that may block but accepts no
+//     context — the interprocedural "ctx stops here" bug
+//   - guarded hand-offs: with ctx in scope, unbuffered sends, receives
+//     from never-closed channels, ranges over never-closed channels, and
+//     sync.Cond.Wait without a context.AfterFunc bridge are findings
+//     unless they sit inside a select with a ctx.Done() arm or default
+//   - cancellable selects: a select with neither a ctx.Done() arm nor a
+//     default cannot be preempted; when the enclosing function returns
+//     error, the finding carries a -fix inserting the Done arm
+//
+// Blocking facts come from the shared concurrency summaries (conc.go),
+// so helpers that block only transitively are still caught at the call.
+type CtxFlow struct{}
+
+func (*CtxFlow) Name() string { return "ctxflow" }
+func (*CtxFlow) Doc() string {
+	return "flag context roots, dropped ctx at blocking frontiers, and unguarded blocking ops"
+}
+
+func (a *CtxFlow) Check(prog *Program, pkg *Package) []Diagnostic {
+	facts := prog.Facts()
+	cf := facts.concFor()
+	var diags []Diagnostic
+	for _, b := range facts.Bodies(pkg) {
+		diags = append(diags, a.checkBody(prog, pkg, cf, b)...)
+	}
+	return diags
+}
+
+func (a *CtxFlow) checkBody(prog *Program, pkg *Package, cf *concFacts, b Body) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, fix *SuggestedFix, format string, args ...any) {
+		diags = append(diags, Diagnostic{prog.Fset.Position(n.Pos()), a.Name(), fmt.Sprintf(format, args...), fix})
+	}
+	info := pkg.Info
+	decl, _ := b.Owner.(*ast.FuncDecl)
+	filename := prog.Fset.Position(b.Block.Pos()).Filename
+	inTest := strings.HasSuffix(filename, "_test.go")
+
+	var ctxVar *types.Var
+	if decl != nil {
+		ctxVar = ctxParamVar(info, decl.Type)
+	} else if lit, ok := b.Owner.(*ast.FuncLit); ok {
+		ctxVar = ctxParamVar(info, lit.Type)
+	}
+
+	// Fresh-root rule, independent of whether a ctx is in scope.
+	if pkg.Name != "main" && !inTest && !isDeprecated(decl) {
+		ast.Inspect(b.Block, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() != "Background" && fn.Name() != "TODO" {
+				return true
+			}
+			// The single-return wrapper shape is only sanctioned for
+			// ctx-less entry points; with a ctx in hand there is no excuse.
+			if ctxVar == nil && isCompatWrapper(b.Block, call) {
+				return true
+			}
+			var fix *SuggestedFix
+			if ctxVar != nil {
+				fix = &SuggestedFix{
+					Message: fmt.Sprintf("use the in-scope context %s", ctxVar.Name()),
+					Edits:   []TextEdit{{Pos: call.Pos(), End: call.End(), NewText: ctxVar.Name()}},
+				}
+			}
+			report(call, fix, "context.%s() starts a fresh context root; thread the caller's ctx instead", fn.Name())
+			return true
+		})
+	}
+
+	// The remaining rules only bind when a ctx parameter is in scope: that
+	// parameter is a promise this call tree is cancellable.
+	if ctxVar == nil {
+		return diags
+	}
+
+	// Buffer/close evidence is module-wide: the close routinely lives in
+	// the producer while the guarded receive lives here.
+	buffered := cf.bufferedAnywhere
+	closed := cf.closedAnywhere
+	hasAfterFunc := callsAfterFunc(info, b.Block)
+
+	// Selects first: a guarded select exempts the hand-offs inside it, an
+	// unguarded one is reported once at the select.
+	var selectRanges [][2]token.Pos
+	ast.Inspect(b.Block, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		selectRanges = append(selectRanges, [2]token.Pos{sel.Pos(), sel.End()})
+		if selectHasDoneArm(info, sel) {
+			return true
+		}
+		if selectCommsEvidenced(info, sel, buffered, closed) {
+			return true
+		}
+		var fix *SuggestedFix
+		if returnsExactlyError(decl) {
+			fix = &SuggestedFix{
+				Message: fmt.Sprintf("add a <-%s.Done() arm returning %s.Err()", ctxVar.Name(), ctxVar.Name()),
+				Edits: []TextEdit{{
+					Pos: sel.Body.Rbrace, End: sel.Body.Rbrace,
+					NewText: fmt.Sprintf("case <-%s.Done():\n\t\treturn %s.Err()\n\t", ctxVar.Name(), ctxVar.Name()),
+				}},
+			}
+		}
+		report(sel, fix, "select has no <-%s.Done() arm or default; cancellation cannot preempt it", ctxVar.Name())
+		return true
+	})
+	inSelect := func(n ast.Node) bool {
+		for _, r := range selectRanges {
+			if n.Pos() >= r[0] && n.End() <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(b.Block, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if inSelect(n) || buffered[chainObject(info, n.Chan)] {
+				return true
+			}
+			report(n, nil, "send on unbuffered channel %s with ctx in scope may block forever; select on it with <-%s.Done()",
+				exprString(n.Chan), ctxVar.Name())
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || inSelect(n) || isDoneCall(info, n.X) {
+				return true
+			}
+			obj := chainObject(info, n.X)
+			if closed[obj] || buffered[obj] {
+				return true
+			}
+			report(n, nil, "receive from %s with ctx in scope may block forever; select on it with <-%s.Done()",
+				exprString(n.X), ctxVar.Name())
+		case *ast.RangeStmt:
+			if !isChanType(info, n.X) || closed[chainObject(info, n.X)] {
+				return true
+			}
+			report(n, nil, "range over channel %s that nothing closes; close it or select with <-%s.Done()",
+				exprString(n.X), ctxVar.Name())
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			if kind, method := syncPrimitiveMethod(fn); kind == "Cond" && method == "Wait" && !hasAfterFunc {
+				report(n, nil, "sync.Cond.Wait with ctx in scope has no context.AfterFunc bridge; cancellation cannot wake the waiter")
+				return true
+			}
+			if isHTTPRoundTrip(fn) {
+				report(n, nil, "http.%s performs a round-trip that ignores ctx; use http.NewRequestWithContext", fn.Name())
+				return true
+			}
+			// Frontier rule: the ctx stops here if the callee may block but
+			// cannot be handed the context.
+			if cf.facts.FuncOf[fn] != nil && cf.blocking[fn] && !funcHasCtxParam(fn) {
+				report(n, nil, "%s may block but takes no context; ctx stops here — thread it through", moduleFuncName(fn))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isCompatWrapper reports whether the call sits in a single-statement
+// `return F(context.Background(), ...)` body — the sanctioned shape for
+// context-free compatibility entry points.
+func isCompatWrapper(block *ast.BlockStmt, call *ast.CallExpr) bool {
+	if len(block.List) != 1 {
+		return false
+	}
+	ret, ok := block.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	return call.Pos() >= ret.Pos() && call.End() <= ret.End()
+}
+
+// selectCommsEvidenced reports whether every comm clause of a select has
+// its own termination evidence (buffered send target, receive from a
+// channel closed in this body), making a Done arm redundant.
+func selectCommsEvidenced(info *types.Info, sel *ast.SelectStmt, buffered, closed map[types.Object]bool) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if !commEvidenced(info, cc.Comm, buffered, closed) {
+			return false
+		}
+	}
+	return true
+}
+
+func commEvidenced(info *types.Info, comm ast.Stmt, buffered, closed map[types.Object]bool) bool {
+	recvOK := func(e ast.Expr) bool {
+		u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return false
+		}
+		if isDoneCall(info, u.X) {
+			return true
+		}
+		obj := chainObject(info, u.X)
+		return closed[obj] || buffered[obj]
+	}
+	switch comm := comm.(type) {
+	case *ast.SendStmt:
+		return buffered[chainObject(info, comm.Chan)]
+	case *ast.ExprStmt:
+		return recvOK(comm.X)
+	case *ast.AssignStmt:
+		for _, r := range comm.Rhs {
+			if !recvOK(r) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// returnsExactlyError reports whether decl's result list is exactly one
+// unnamed-or-named error — the shape the Done-arm autofix can complete
+// with `return ctx.Err()`.
+func returnsExactlyError(decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Type.Results == nil {
+		return false
+	}
+	results := decl.Type.Results.List
+	if len(results) != 1 || len(results[0].Names) > 1 {
+		return false
+	}
+	id, ok := results[0].Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+// moduleFuncName renders a module function for messages: "pkg.Func" or
+// "pkg.Type.Method".
+func moduleFuncName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -63,6 +63,7 @@ type Facts struct {
 
 	taint *taintFacts // solved lazily by the taint analyzer
 	dims  *dimFacts   // solved lazily by the dimension analyzer
+	conc  *concFacts  // solved lazily by the concurrency analyzers
 }
 
 // Facts returns the program's shared analysis facts, building them on

@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak requires every spawned goroutine to have a provable termination
+// path. A leaked goroutine in the daemon is capacity that never comes
+// back: internal/server's job and progress goroutines outlive requests,
+// so "it probably exits" is not evidence. Accepted proofs, in order:
+//
+//   - join: the body calls (*sync.WaitGroup).Done on a WaitGroup some
+//     function in the module Waits on; when the WaitGroup arrives as a
+//     parameter of the spawning helper, every caller is checked for the
+//     matching Wait — the interprocedural "helper spawns on behalf of
+//     its caller" case
+//   - cancellation: a declared target that takes a context.Context and is
+//     handed one is cancellable by contract (ctxflow separately enforces
+//     that the ctx reaches its blocking ops)
+//   - structural termination: the body has no unbounded loop without a
+//     ctx.Done() exit, no receive/range on a never-closed channel, no
+//     unbuffered send outside a guarded select, and no un-bridged
+//     cond.Wait — recursing into module callees, which is what lets a
+//     helper's blocking loop surface at the distant go statement
+//
+// Channel close/buffer evidence is module-wide (conc.go): the close
+// commonly lives in the spawner while the receive lives in the helper.
+type GoLeak struct{}
+
+func (*GoLeak) Name() string { return "goleak" }
+func (*GoLeak) Doc() string {
+	return "flag goroutines with no provable termination path (join, cancellation, or structural)"
+}
+
+// goleakDepth bounds the callee recursion of the structural check.
+const goleakDepth = 3
+
+func (a *GoLeak) Check(prog *Program, pkg *Package) []Diagnostic {
+	facts := prog.Facts()
+	cf := facts.concFor()
+	var diags []Diagnostic
+	for _, b := range facts.Bodies(pkg) {
+		b := b
+		ast.Inspect(b.Block, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if reason := a.checkSpawn(pkg, cf, b, gs); reason != "" {
+				diags = append(diags, Diagnostic{prog.Fset.Position(gs.Pos()), a.Name(),
+					"goroutine has no provable termination path: " + reason, nil})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkSpawn validates one go statement; "" means a termination path was
+// proven, anything else is the finding's reason.
+func (a *GoLeak) checkSpawn(pkg *Package, cf *concFacts, b Body, gs *ast.GoStmt) string {
+	info := pkg.Info
+
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if reason, joined := a.joinEvidence(pkg, cf, b, lit.Body); joined {
+			return reason
+		}
+		return a.terminates(cf, pkg, lit.Body, goleakDepth, map[*types.Func]bool{})
+	}
+
+	fn := calleeFunc(info, gs.Call)
+	if fn == nil {
+		return "target is a function value; spawn a named function or literal the analyzer can see"
+	}
+	fi := cf.facts.FuncOf[fn]
+	if fi == nil {
+		// Out-of-module target (http.Server.Serve, etc.): its lifecycle is
+		// the library's contract, not ours.
+		return ""
+	}
+	// A declared target that accepts a context and is handed one is
+	// cancellable by contract.
+	if funcHasCtxParam(fn) {
+		for _, arg := range gs.Call.Args {
+			if tv, ok := info.Types[arg]; ok && tv.Type != nil && isContextType(tv.Type) {
+				return ""
+			}
+		}
+		return fmt.Sprintf("%s takes a context but the spawn passes none", moduleFuncName(fn))
+	}
+	if reason, joined := a.joinEvidence(fi.Pkg, cf, Body{Owner: fi.Decl, Fn: fn, Pkg: fi.Pkg, Block: fi.Decl.Body}, fi.Decl.Body); joined {
+		return reason
+	}
+	return a.terminates(cf, fi.Pkg, fi.Decl.Body, goleakDepth, map[*types.Func]bool{fn: true})
+}
+
+// joinEvidence looks for WaitGroup join structure in a spawned body: a
+// Done() call whose WaitGroup some module function Waits on. Returns
+// joined=false when the body has no Done at all (caller falls through to
+// the structural check); joined=true with reason "" on a proven join, or
+// with a non-empty reason when the join is broken — a Done on a
+// parameter WaitGroup that some caller never Waits on.
+func (a *GoLeak) joinEvidence(pkg *Package, cf *concFacts, b Body, spawned *ast.BlockStmt) (string, bool) {
+	info := pkg.Info
+	var wgObj types.Object
+	ast.Inspect(spawned, func(n ast.Node) bool {
+		if wgObj != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if kind, method := syncPrimitiveMethod(fn); kind == "WaitGroup" && method == "Done" {
+			wgObj = receiverObject(info, call)
+			return false
+		}
+		return true
+	})
+	if wgObj == nil {
+		return "", false
+	}
+	if len(cf.waits[wgObj]) > 0 {
+		return "", true
+	}
+	// The WaitGroup came in as a parameter of the spawning function: the
+	// join lives (or doesn't) in the callers.
+	if b.Fn != nil {
+		if idx := paramIndex(b.Fn, wgObj); idx >= 0 {
+			if reason := a.checkCallerJoins(cf, b.Fn, idx); reason != "" {
+				return reason, true
+			}
+			return "", true
+		}
+	}
+	return fmt.Sprintf("Done on WaitGroup %q that nothing in the module Waits on", wgObj.Name()), true
+}
+
+// paramIndex returns the position of obj in fn's parameter tuple, or -1.
+func paramIndex(fn *types.Func, obj types.Object) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkCallerJoins verifies that every caller of fn passes, as parameter
+// idx, a WaitGroup that is Waited on somewhere in the module. Returns ""
+// when all callers join, else the first broken caller.
+func (a *GoLeak) checkCallerJoins(cf *concFacts, fn *types.Func, idx int) string {
+	facts := cf.facts
+	for _, caller := range facts.Callers[fn] {
+		ci := facts.FuncOf[caller]
+		if ci == nil {
+			continue
+		}
+		broken := ""
+		ast.Inspect(ci.Decl.Body, func(n ast.Node) bool {
+			if broken != "" {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleeFunc(ci.Pkg.Info, call) != fn || len(call.Args) <= idx {
+				return true
+			}
+			argObj := chainObject(ci.Pkg.Info, call.Args[idx])
+			if argObj == nil {
+				return true
+			}
+			if len(cf.waits[argObj]) > 0 {
+				return true
+			}
+			// The caller itself received it as a parameter: trust the next
+			// frame up rather than chasing the whole call tree.
+			if paramIndex(caller, argObj) >= 0 {
+				return true
+			}
+			broken = fmt.Sprintf("spawned for %s, which never Waits on the WaitGroup it passes", moduleFuncName(caller))
+			return false
+		})
+		if broken != "" {
+			return broken
+		}
+	}
+	return ""
+}
+
+// terminates structurally checks a body for a termination path; ""
+// means provable, anything else is the reason it is not.
+func (a *GoLeak) terminates(cf *concFacts, pkg *Package, body *ast.BlockStmt, depth int, visited map[*types.Func]bool) string {
+	info := pkg.Info
+	hasAfterFunc := callsAfterFunc(info, body)
+
+	// Selects are judged as units; their comm ops are not re-judged.
+	var selectRanges [][2]token.Pos
+	reason := ""
+	fail := func(format string, args ...any) {
+		if reason == "" {
+			reason = fmt.Sprintf(format, args...)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			selectRanges = append(selectRanges, [2]token.Pos{sel.Pos(), sel.End()})
+		}
+		return true
+	})
+	inSelect := func(n ast.Node) bool {
+		for _, r := range selectRanges {
+			if n.Pos() > r[0] && n.End() <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond == nil && !mentionsDone(info, n.Body) {
+				fail("unbounded for loop with no ctx.Done() exit")
+			}
+		case *ast.RangeStmt:
+			if isChanType(info, n.X) && !cf.closedAnywhere[chainObject(info, n.X)] {
+				fail("ranges over channel %s, which nothing closes", exprString(n.X))
+			}
+		case *ast.SendStmt:
+			if !inSelect(n) && !cf.bufferedAnywhere[chainObject(info, n.Chan)] {
+				fail("sends on unbuffered channel %s outside a guarded select", exprString(n.Chan))
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || inSelect(n) || isDoneCall(info, n.X) {
+				return true
+			}
+			obj := chainObject(info, n.X)
+			if !cf.closedAnywhere[obj] && !cf.bufferedAnywhere[obj] {
+				fail("receives from channel %s, which nothing closes", exprString(n.X))
+			}
+		case *ast.SelectStmt:
+			if !selectHasDoneArm(info, n) && !selectCommsEvidencedAnywhere(info, n, cf) {
+				fail("blocks in a select with no ctx.Done() arm or default")
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil {
+				return true
+			}
+			if kind, method := syncPrimitiveMethod(fn); kind == "Cond" && method == "Wait" && !hasAfterFunc {
+				fail("waits on a sync.Cond with no context.AfterFunc bridge")
+				return true
+			}
+			fi := cf.facts.FuncOf[fn]
+			if fi == nil || visited[fn] || funcHasCtxParam(fn) {
+				return true
+			}
+			if depth > 0 && cf.blocking[fn] {
+				visited[fn] = true
+				if r := a.terminates(cf, fi.Pkg, fi.Decl.Body, depth-1, visited); r != "" {
+					fail("calls %s, which %s", moduleFuncName(fn), r)
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// selectCommsEvidencedAnywhere is selectCommsEvidenced against the
+// module-wide buffer/close evidence.
+func selectCommsEvidencedAnywhere(info *types.Info, sel *ast.SelectStmt, cf *concFacts) bool {
+	return selectCommsEvidenced(info, sel, cf.bufferedAnywhere, cf.closedAnywhere)
+}
+
+// mentionsDone reports whether a loop body contains any ctx.Done() or
+// ctx.Err() consultation — the conventional cancellation exit.
+func mentionsDone(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+			return true
+		}
+		if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,10 @@
+// Command main proves package main may mint root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = ctx
+}

@@ -1,0 +1,152 @@
+// Package ctxflow seeds dropped contexts, fresh roots, and unguarded
+// blocking operations for the ctxflow analyzer.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"ctxflow/inner"
+)
+
+func run(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// freshRoot mints a root context mid-module: finding.
+func freshRoot() error {
+	ctx := context.Background() // want `context.Background() starts a fresh context root`
+	return run(ctx)
+}
+
+// freshTODO drops the ctx it already has on the floor: finding, with a
+// replacement fix.
+func freshTODO(ctx context.Context) error {
+	return run(context.TODO()) // want `context.TODO() starts a fresh context root`
+}
+
+// Run is the sanctioned compat-wrapper shape: a ctx-less entry point
+// whose whole body is one return through Background.
+func Run() error {
+	return run(context.Background())
+}
+
+// Deprecated: use Run.
+func OldRun() error {
+	err := run(context.Background())
+	return err
+}
+
+// frontier calls a blocking helper across the package boundary that has
+// no way to receive the ctx: the interprocedural finding.
+func frontier(ctx context.Context, ch chan int) int {
+	return inner.Drain(ch) // want `inner.Drain may block but takes no context`
+}
+
+// frontierFixed threads the ctx through the cancellable twin.
+func frontierFixed(ctx context.Context, ch chan int) (int, error) {
+	return inner.DrainCtx(ctx, ch)
+}
+
+// frontierPure calls compute-only code; no finding.
+func frontierPure(ctx context.Context) int {
+	return inner.Pure(3)
+}
+
+// pump blocks (unbuffered send) and takes no ctx; it is fine on its own —
+// the finding belongs to the ctx-holding caller below.
+func pump(ch chan int) {
+	ch <- 1
+}
+
+func frontierLocal(ctx context.Context, ch chan int) {
+	pump(ch) // want `ctxflow.pump may block but takes no context`
+}
+
+func unguardedSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want `send on unbuffered channel ch with ctx in scope may block forever`
+}
+
+func bufferedSend(ctx context.Context) {
+	ch := make(chan int, 1)
+	ch <- 1
+}
+
+func unguardedRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want `receive from ch with ctx in scope may block forever`
+}
+
+func guardedRecv(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func noDoneSelect(ctx context.Context, a, b chan int) error {
+	select { // want `select has no <-ctx.Done() arm or default`
+	case <-a:
+	case <-b:
+	}
+	return nil
+}
+
+func defaultSelect(ctx context.Context, a chan int) {
+	select {
+	case <-a:
+	default:
+	}
+}
+
+func rangeUnclosed(ctx context.Context, ch chan int) {
+	for v := range ch { // want `range over channel ch that nothing closes`
+		_ = v
+	}
+}
+
+func rangeClosed(ctx context.Context) {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	for v := range ch {
+		_ = v
+	}
+}
+
+func condNoBridge(ctx context.Context, cond *sync.Cond) {
+	cond.Wait() // want `sync.Cond.Wait with ctx in scope has no context.AfterFunc bridge`
+}
+
+func condBridged(ctx context.Context, cond *sync.Cond) {
+	stop := context.AfterFunc(ctx, cond.Broadcast)
+	defer stop()
+	cond.Wait()
+}
+
+func fetch(ctx context.Context, url string) error {
+	_, err := http.Get(url) // want `http.Get performs a round-trip that ignores ctx`
+	return err
+}
+
+var _ = freshRoot
+var _ = freshTODO
+var _ = Run
+var _ = OldRun
+var _ = frontier
+var _ = frontierFixed
+var _ = frontierPure
+var _ = frontierLocal
+var _ = unguardedSend
+var _ = bufferedSend
+var _ = unguardedRecv
+var _ = guardedRecv
+var _ = noDoneSelect
+var _ = defaultSelect
+var _ = rangeUnclosed
+var _ = rangeClosed
+var _ = condNoBridge
+var _ = condBridged
+var _ = fetch

@@ -1,0 +1,3 @@
+module ctxflow
+
+go 1.22

@@ -1,0 +1,26 @@
+// Package inner holds the blocking helpers the frontier rule is checked
+// against across a package boundary.
+package inner
+
+import "context"
+
+// Drain blocks on a receive but accepts no context — calling it with a
+// ctx in scope is the cross-package frontier finding.
+func Drain(ch chan int) int {
+	return <-ch
+}
+
+// DrainCtx is the fixed twin: same blocking receive, but cancellable.
+func DrainCtx(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Pure is compute-only; calling it with a ctx in scope is fine.
+func Pure(n int) int {
+	return n * 2
+}

@@ -1,0 +1,26 @@
+// Fixable ctxflow findings: a fresh root replaced by the in-scope ctx,
+// and a select gaining its ctx.Done() arm.
+package fixable
+
+import "context"
+
+func step(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// reroot drops its ctx for a fresh root: the fix swaps Background for ctx.
+func reroot(ctx context.Context) error {
+	return step(context.Background())
+}
+
+// wait blocks in a select that cancellation cannot preempt: the fix
+// inserts the ctx.Done() arm.
+func wait(ctx context.Context, a chan int) error {
+	select {
+	case <-a:
+	}
+	return nil
+}
+
+var _ = reroot
+var _ = wait

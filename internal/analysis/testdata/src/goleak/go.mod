@@ -1,0 +1,3 @@
+module goleak
+
+go 1.22

@@ -1,0 +1,164 @@
+// Package goleak seeds goroutines with and without provable termination
+// paths.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// joined is structured concurrency done right: Done in the body, Wait in
+// the spawner.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(1)
+		}()
+	}
+	wg.Wait()
+}
+
+// spawnFor is a helper that spawns on behalf of its caller: the join
+// evidence lives (or doesn't) at the call sites below.
+func spawnFor(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `spawned for goleak.brokenCaller, which never Waits on the WaitGroup it passes`
+		defer wg.Done()
+		work(2)
+	}()
+}
+
+// goodCaller joins the goroutine spawnFor started for it.
+func goodCaller() {
+	var wg sync.WaitGroup
+	spawnFor(&wg)
+	wg.Wait()
+}
+
+// brokenCaller never Waits: the leak is reported at the distant spawn.
+func brokenCaller() {
+	var wg sync.WaitGroup
+	spawnFor(&wg)
+}
+
+// orphanDone signals a WaitGroup nothing ever Waits on.
+func orphanDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `Done on WaitGroup "wg" that nothing in the module Waits on`
+		defer wg.Done()
+		work(3)
+	}()
+}
+
+// spinner loops forever with no cancellation exit.
+func spinner(ch chan int) {
+	go func() { // want `unbounded for loop with no ctx.Done() exit`
+		for {
+			work(4)
+		}
+	}()
+}
+
+// cancellable loops forever but exits on ctx.Done.
+func cancellable(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				work(v)
+			}
+		}
+	}()
+}
+
+// spawnCtx hands the declared worker a context: cancellable by contract.
+func spawnCtx(ctx context.Context) {
+	go pumpCtx(ctx)
+}
+
+func pumpCtx(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// resultSlot is the buffered one-shot idiom: the send cannot block.
+func resultSlot() chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work(5)
+	}()
+	return errc
+}
+
+// stuckSend parks forever if nobody receives.
+func stuckSend(ch chan int) {
+	go func() { // want `sends on unbuffered channel ch outside a guarded select`
+		ch <- 1
+	}()
+}
+
+// drainClosed ranges over a channel the producer closes.
+func drainClosed() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+// drainForever ranges over a channel nothing closes.
+func drainForever(ch chan int) {
+	go func() { // want `ranges over channel ch, which nothing closes`
+		for v := range ch {
+			work(v)
+		}
+	}()
+}
+
+// spawnHelper leaks through a callee: the blocking loop is two calls
+// away, and the summary walk still surfaces it at the go statement.
+func spawnHelper(ch chan int) {
+	go helper(ch) // want `calls goleak.inner, which receives from channel ch, which nothing closes`
+}
+
+func helper(ch chan int) {
+	inner(ch)
+}
+
+func inner(ch chan int) int {
+	return <-ch
+}
+
+// dynamic spawns a function value the analyzer cannot see into.
+func dynamic(f func()) {
+	go f() // want `target is a function value`
+}
+
+func work(n int) error {
+	if n < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+var _ = joined
+var _ = goodCaller
+var _ = brokenCaller
+var _ = orphanDone
+var _ = spinner
+var _ = cancellable
+var _ = spawnCtx
+var _ = resultSlot
+var _ = stuckSend
+var _ = drainClosed
+var _ = drainForever
+var _ = spawnHelper
+var _ = dynamic

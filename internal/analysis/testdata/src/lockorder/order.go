@@ -1,0 +1,130 @@
+package lockfix
+
+import "sync"
+
+// Registry and Journal acquire each other's locks in opposite orders —
+// the module-wide cycle.
+type Registry struct {
+	mu sync.Mutex
+	j  *Journal
+}
+
+type Journal struct {
+	mu sync.Mutex
+	r  *Registry
+}
+
+func (r *Registry) Sync() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.j.mu.Lock() // want `lock-order cycle among [lockfix.Journal.mu lockfix.Registry.mu]`
+	r.j.mu.Unlock()
+}
+
+func (j *Journal) Sync() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.r.mu.Lock()
+	j.r.mu.Unlock()
+}
+
+// Counter locks consistently: no cycle, no findings.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// reLock acquires the same mutex twice in one frame.
+func reLock(c *Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want `lockfix.Counter.mu acquired while already held; self-deadlock`
+	c.mu.Unlock()
+}
+
+// lockThenInc deadlocks through the call: Inc re-acquires the held lock.
+func lockThenInc(c *Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Inc() // want `calls lockfix.Counter.Inc while holding lockfix.Counter.mu, which it acquires again; self-deadlock through the call`
+}
+
+// unlockThenInc releases first: clean.
+func unlockThenInc(c *Counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.Inc()
+}
+
+// heldAcrossSend parks with the lock held.
+func heldAcrossSend(c *Counter, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- c.n // want `lock [lockfix.Counter.mu] held across send on unbuffered channel ch`
+}
+
+// sendOutsideLock hands off after releasing: clean.
+func sendOutsideLock(c *Counter, ch chan int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	ch <- n
+}
+
+// heldAcrossWait joins workers while holding the lock they may need.
+func heldAcrossWait(c *Counter, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Wait() // want `lock [lockfix.Counter.mu] held across WaitGroup.Wait`
+}
+
+// Queue is the sanctioned cond shape: Wait releases the one held lock.
+type Queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (q *Queue) Pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+	q.n--
+	return q.n
+}
+
+// popBoth waits on the cond while also holding a second lock that Wait
+// will not release.
+func popBoth(q *Queue, c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		q.cond.Wait() // want `sync.Cond.Wait while holding [lockfix.Counter.mu lockfix.Queue.mu]`
+	}
+	return q.n
+}
+
+var _ = reLock
+var _ = lockThenInc
+var _ = unlockThenInc
+var _ = heldAcrossSend
+var _ = sendOutsideLock
+var _ = heldAcrossWait
+var _ = popBoth

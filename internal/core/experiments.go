@@ -126,6 +126,7 @@ func forEachJob(ctx context.Context, n, workers int, fn func(ctx context.Context
 		}(w + 1)
 	}
 	for i := 0; i < n; i++ {
+		//xeonlint:ignore ctxflow workers drain jobs even after a failure (they keep ranging and skip work), so this send cannot block forever
 		jobs <- i
 	}
 	close(jobs)

@@ -119,6 +119,7 @@ func New(cfg Config) *Server {
 	if inner == nil {
 		inner = core.Local()
 	}
+	//xeonlint:ignore ctxflow the server owns its own lifetime: this root is canceled by Close, not by any caller's ctx
 	ctx, stop := context.WithCancel(context.Background())
 	return &Server{
 		cfg:      cfg,
