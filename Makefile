@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-conc bench bench-cache bench-snapshot check ci check-golden update-golden figures figures-cached lmbench ablations profile fmt vet lint lint-conc lint-fix lint-fix-clean server-smoke clean
+.PHONY: build test test-short race race-conc bench bench-cache bench-snapshot check ci check-golden update-golden figures figures-cached lmbench ablations profile fmt vet lint lint-conc lint-hot lint-fix lint-fix-clean pgo-fresh server-smoke clean
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,8 @@ bench:
 
 # Static analysis: go vet plus the repo's own analyzers (cmd/xeonlint —
 # nondeterminism taint, dimension inference, unit safety, dropped errors,
-# context flow, goroutine leaks, lock ordering, counter/golden parity).
+# context flow, goroutine leaks, lock ordering, counter/golden parity,
+# and the profile-guided hot tier: hotalloc, hotcall, benchparity).
 # Depends on build so vet and xeonlint share one warm build cache; -v
 # prints per-analyzer wall time so lint-job runtime regressions show up
 # in CI logs.
@@ -46,6 +47,17 @@ lint: build
 # quick pre-push check of server/engine changes.
 lint-conc: build
 	$(GO) run ./cmd/xeonlint -v -only ctxflow,goleak,lockorder ./...
+
+# Just the profile-guided performance tier, for hot-path work.
+lint-hot: build
+	$(GO) run ./cmd/xeonlint -v -only hot ./...
+
+# Assert the checked-in CPU profile still matches the source: it must
+# decode, resolve onto module functions, and keep the benchmarked engine
+# packages in its hot set. Regenerate with `make profile` after renaming
+# hot functions.
+pgo-fresh: build
+	./scripts/pgo-freshness.sh
 
 # Apply every machine-applicable fix xeonlint proposes (magic-literal →
 # units.* rewrites, explicit `_ =` error drops), in place.

@@ -1,7 +1,9 @@
 // Command xeonlint runs the repo's domain-specific static analyzers (see
 // internal/analysis) over the module: nondeterminism taint, dimension
 // inference, unit safety, dropped errors, context flow, goroutine leaks,
-// lock ordering, and counter/golden-schema parity.
+// lock ordering, counter/golden-schema parity, and the profile-guided
+// performance tier (hotalloc, hotcall, benchparity) driven by the
+// checked-in CPU profile.
 //
 // Usage:
 //
@@ -12,17 +14,27 @@
 //	xeonlint -fix ./...      # apply the suggested fixes in place
 //	xeonlint -diff ./...     # print pending fixes as a unified diff
 //	xeonlint -only ctxflow,goleak ./...   # run a subset of analyzers
+//	xeonlint -only hot ./...              # hot = hotalloc,hotcall,benchparity
 //	xeonlint -skip taint ./...            # run all but these analyzers
+//	xeonlint -pgo path/to/cpu.pgo ./...   # hot set from another profile
+//	xeonlint -hot-threshold 0.02 ./...    # raise the flat-share cutoff
+//	xeonlint -hot-report     # print the hot set and exit
 //	xeonlint -v ./...        # report per-analyzer wall time on stderr
 //
 // Findings print as "file:line:col: [analyzer] message" and make the exit
-// status 1; a load or usage problem exits 2. Under -fix, findings that
-// carry a machine-applicable fix are rewritten in place and only the
-// unfixable remainder affects the exit status. Under -diff, the exit
-// status is 1 exactly when fixes are pending, so CI can assert the tree
-// is fix-clean. Suppress a finding with //xeonlint:ignore <analyzer>
-// <reason> on or above the offending line — unused suppressions are
-// themselves findings.
+// status 1; a load or usage problem exits 2. Advisory notes (hotcall's
+// hot→cold inlining hints) print but never affect the exit status. Under
+// -fix, findings that carry a machine-applicable fix are rewritten in
+// place and only the unfixable remainder affects the exit status. Under
+// -diff, the exit status is 1 exactly when fixes are pending, so CI can
+// assert the tree is fix-clean. Suppress a finding with
+// //xeonlint:ignore <analyzer> <reason> on or above the offending line —
+// unused suppressions are themselves findings.
+//
+// The -pgo profile defaults to cmd/xeonchar/default.pgo under the module
+// root. When that default is absent the performance analyzers fall back
+// to //xeonlint:hot directives alone (with a warning); an explicitly set
+// -pgo path that cannot be read is an error.
 package main
 
 import (
@@ -46,8 +58,11 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one JSON finding per line")
 		applyFix = flag.Bool("fix", false, "apply suggested fixes in place")
 		diffFix  = flag.Bool("diff", false, "print suggested fixes as a unified diff; exit 1 if any are pending")
-		only     = flag.String("only", "", "comma-separated analyzers to run exclusively")
-		skip     = flag.String("skip", "", "comma-separated analyzers to skip")
+		only     = flag.String("only", "", "comma-separated analyzers to run exclusively ('hot' = hotalloc,hotcall,benchparity)")
+		skip     = flag.String("skip", "", "comma-separated analyzers to skip ('hot' = hotalloc,hotcall,benchparity)")
+		pgoPath  = flag.String("pgo", defaultPGOPath, "pprof CPU profile for the hot set, relative to -root; '' disables profile hotness")
+		hotThr   = flag.Float64("hot-threshold", analysis.DefaultHotThreshold, "flat-share cutoff for profile hotness")
+		hotRep   = flag.Bool("hot-report", false, "print the resolved hot set and unresolved profile names, then exit")
 		verbose  = flag.Bool("v", false, "report per-analyzer wall time on stderr")
 	)
 	flag.Parse()
@@ -84,6 +99,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xeonlint:", err)
 		os.Exit(2)
 	}
+	prog.HotThreshold = *hotThr
+	if *pgoPath != "" {
+		path := *pgoPath
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(*root, path)
+		}
+		prof, err := analysis.ReadPGO(path)
+		switch {
+		case err == nil:
+			prog.PGO = prof
+		case flagWasSet("pgo"):
+			// An explicitly chosen profile that does not decode is an
+			// error; silently linting against nothing would lie.
+			fmt.Fprintln(os.Stderr, "xeonlint:", err)
+			os.Exit(2)
+		default:
+			fmt.Fprintf(os.Stderr, "xeonlint: default profile unavailable (%v); hot set from //xeonlint:hot directives only\n", err)
+		}
+	}
+
+	if *hotRep {
+		hot := prog.HotFunctions()
+		for _, h := range hot {
+			fmt.Printf("%6.2f%% flat %6.2f%% cum  %-60s %s\n", h.Flat*100, h.Cum*100, h.Name, h.Reason)
+		}
+		for _, name := range prog.UnresolvedHotNames() {
+			fmt.Printf("unresolved: %s (profile name not in source; profile may be stale)\n", name)
+		}
+		fmt.Fprintf(os.Stderr, "xeonlint: %d hot function(s)\n", len(hot))
+		return
+	}
+
 	diags, timings := prog.RunTimed(analyzers)
 	if *verbose {
 		for _, t := range timings {
@@ -143,7 +190,13 @@ func main() {
 		diags = rest
 	}
 
+	findings, notes := 0, 0
 	for _, d := range diags {
+		if d.Note {
+			notes++
+		} else {
+			findings++
+		}
 		if *jsonOut {
 			line, err := json.Marshal(struct {
 				File     string `json:"file"`
@@ -152,7 +205,8 @@ func main() {
 				Analyzer string `json:"analyzer"`
 				Message  string `json:"message"`
 				Fixable  bool   `json:"fixable"`
-			}{relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message, d.Fix != nil})
+				Note     bool   `json:"note"`
+			}{relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message, d.Fix != nil, d.Note})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "xeonlint:", err)
 				os.Exit(2)
@@ -162,10 +216,30 @@ func main() {
 		}
 		fmt.Printf("%s:%d:%d: [%s] %s\n", relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "xeonlint: %d finding(s)\n", len(diags))
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "xeonlint: %d finding(s), %d note(s)\n", findings, notes)
 		os.Exit(1)
 	}
+	if notes > 0 {
+		fmt.Fprintf(os.Stderr, "xeonlint: %d advisory note(s), no findings\n", notes)
+	}
+}
+
+// defaultPGOPath is where the checked-in CPU profile lives, relative to
+// the module root — the same profile the go toolchain would pick up for
+// PGO builds of cmd/xeonchar.
+const defaultPGOPath = "cmd/xeonchar/default.pgo"
+
+// flagWasSet reports whether the named flag was given on the command
+// line, distinguishing an explicit -pgo from the built-in default.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // selectAnalyzers narrows the registry by the -only/-skip flag values,
@@ -176,6 +250,10 @@ func selectAnalyzers(all []analysis.Analyzer, only, skip string) ([]analysis.Ana
 	for _, a := range all {
 		names[a.Name()] = true
 	}
+	// "hot" is a group alias for the profile-guided tier.
+	groups := map[string][]string{
+		"hot": {"hotalloc", "hotcall", "benchparity"},
+	}
 	parse := func(flagName, v string) (map[string]bool, error) {
 		if v == "" {
 			return nil, nil
@@ -183,6 +261,12 @@ func selectAnalyzers(all []analysis.Analyzer, only, skip string) ([]analysis.Ana
 		set := map[string]bool{}
 		for _, name := range strings.Split(v, ",") {
 			name = strings.TrimSpace(name)
+			if members, ok := groups[name]; ok {
+				for _, m := range members {
+					set[m] = true
+				}
+				continue
+			}
 			if !names[name] {
 				return nil, fmt.Errorf("-%s names unknown analyzer %q (see -list)", flagName, name)
 			}

@@ -8,8 +8,12 @@
 // shared Facts (function index, module-wide call graph, field-use
 // relation — see facts.go) that the interprocedural passes solve their
 // fixed points over, plus shared concurrency summaries (may-block,
-// lock-acquisition, WaitGroup-join facts — see conc.go). Eight analyzers
-// guard the promises the reproduction makes:
+// lock-acquisition, WaitGroup-join facts — see conc.go). Since PR 9 a
+// profile-guided tier joins them: a stdlib-only pprof reader (pgo.go)
+// extracts a deterministic hot set from the checked-in CPU profile, maps
+// it onto the call graph, and three performance analyzers lint only the
+// code the profile says matters. Eleven analyzers guard the promises the
+// reproduction makes:
 //
 //   - taint: no wall clock, no unseeded math/rand, no map-iteration
 //     order leaking into ordered output — plus interprocedural
@@ -39,6 +43,17 @@
 //   - counterparity: every counters.Metrics column and counters.Event name
 //     has a renderer/exporter twin, so golden JSON schemas cannot silently
 //     lose a column
+//   - hotalloc: no per-iteration heap allocations in profile-hot loops —
+//     string concat, fmt.Sprint*, capturing closures, interface boxing,
+//     defer-in-loop, capacity-less append (with -fix rewrites for the
+//     mechanical cases)
+//   - hotcall: no avoidable per-iteration call overhead in hot loops —
+//     devirtualizable single-implementation interface calls, hoistable
+//     loop-invariant map lookups, channel ops; hot→cold calls into
+//     functions too large to inline are advisory notes
+//   - benchparity: every profile-hot function is reachable from a
+//     Benchmark* in the module, so the BENCH_*.json perf gate has no
+//     blind spot where the profile says the time goes
 //
 // Findings can be suppressed per line with
 //
@@ -56,8 +71,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"xeonomp/internal/obs"
 )
@@ -72,6 +89,9 @@ type Diagnostic struct {
 	// Fix, when non-nil, is a textual edit that resolves the finding;
 	// cmd/xeonlint applies it under -fix and previews it under -diff.
 	Fix *SuggestedFix
+	// Note marks advisory diagnostics (hotcall's hot→cold inlining
+	// notes): printed, but excluded from the failing exit status.
+	Note bool
 }
 
 func (d Diagnostic) String() string {
@@ -99,7 +119,20 @@ type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
 
-	facts *Facts // built on first Facts() call, shared by every analyzer
+	// PGO, when set before Run, attaches a decoded pprof profile (see
+	// pgo.go); the hotalloc/hotcall/benchparity analyzers derive their
+	// hot set from it. With no profile, only //xeonlint:hot directives
+	// seed the hot set.
+	PGO *PGOProfile
+	// HotThreshold is the flat-share cutoff for profile-hot functions;
+	// zero means DefaultHotThreshold.
+	HotThreshold float64
+	// Workers bounds the per-package fan-out inside Run/RunTimed; zero
+	// means GOMAXPROCS. One worker reproduces the old serial driver.
+	Workers int
+
+	factsMu sync.Mutex
+	facts   *Facts // built on first Facts() call, shared by every analyzer
 }
 
 // ByName returns the loaded packages with the given package name.
@@ -136,6 +169,9 @@ func Analyzers() []Analyzer {
 		&GoLeak{},
 		&LockOrder{},
 		&CounterParity{},
+		&HotAlloc{},
+		&HotCall{},
+		&BenchParity{},
 	}
 }
 
@@ -172,8 +208,8 @@ func parseIgnores(fset *token.FileSet, f *ast.File, known map[string]bool) ([]*i
 			rest := strings.TrimPrefix(c.Text, ignorePrefix)
 			fields := strings.Fields(rest)
 			if len(fields) < 2 {
-				diags = append(diags, Diagnostic{pos, "xeonlint",
-					"malformed ignore: want //xeonlint:ignore <analyzer>[,<analyzer>|all] <reason>", nil})
+				diags = append(diags, Diagnostic{Pos: pos, Analyzer: "xeonlint",
+					Message: "malformed ignore: want //xeonlint:ignore <analyzer>[,<analyzer>|all] <reason>"})
 				continue
 			}
 			d := &ignoreDirective{pos: pos}
@@ -182,8 +218,8 @@ func parseIgnores(fset *token.FileSet, f *ast.File, known map[string]bool) ([]*i
 				bad := false
 				for _, name := range strings.Split(fields[0], ",") {
 					if !known[name] {
-						diags = append(diags, Diagnostic{pos, "xeonlint",
-							fmt.Sprintf("ignore names unknown analyzer %q", name), nil})
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "xeonlint",
+							Message: fmt.Sprintf("ignore names unknown analyzer %q", name)})
 						bad = true
 						break
 					}
@@ -241,11 +277,46 @@ func (p *Program) RunTimed(analyzers []Analyzer) ([]Diagnostic, []AnalyzerTiming
 		}
 	}
 
+	// Per-package fan-out: each analyzer still runs to completion before
+	// the next starts (so -v wall times stay attributable to one
+	// analyzer), but its Check calls spread over a bounded worker pool.
+	// Results are collected per package index and merged in package
+	// order, then sorted — the output is byte-identical to a serial run.
+	// The module-wide fixed points the analyzers solve lazily on first
+	// Check are serialized by the Facts mutex, so concurrent first calls
+	// build each layer exactly once.
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.Packages) {
+		workers = len(p.Packages)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	var timings []AnalyzerTiming
 	for _, a := range analyzers {
 		t := obs.StartTimer()
-		for _, pkg := range p.Packages {
-			for _, d := range a.Check(p, pkg) {
+		perPkg := make([][]Diagnostic, len(p.Packages))
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					perPkg[i] = a.Check(p, p.Packages[i])
+				}
+			}()
+		}
+		for i := range p.Packages {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		for _, pkgDiags := range perPkg {
+			for _, d := range pkgDiags {
 				suppressed := false
 				for _, ig := range ignores[d.Pos.Filename] {
 					if ig.matches(d.Analyzer, d.Pos.Line) {
@@ -276,8 +347,8 @@ func (p *Program) RunTimed(analyzers []Analyzer) ([]Diagnostic, []AnalyzerTiming
 			if ig.analyzers != nil && !intersects(ig.analyzers, running) {
 				continue
 			}
-			diags = append(diags, Diagnostic{ig.pos, "xeonlint",
-				"unused ignore directive suppresses nothing; delete it", nil})
+			diags = append(diags, Diagnostic{Pos: ig.pos, Analyzer: "xeonlint",
+				Message: "unused ignore directive suppresses nothing; delete it"})
 		}
 	}
 

@@ -138,6 +138,46 @@ func TestCounterParity(t *testing.T) {
 	checkFixture(t, "counterparity", []analysis.Analyzer{&analysis.CounterParity{}})
 }
 
+func TestHotAlloc(t *testing.T) {
+	checkFixture(t, "hotalloc", []analysis.Analyzer{&analysis.HotAlloc{}})
+}
+
+func TestHotCall(t *testing.T) {
+	checkFixture(t, "hotcall", []analysis.Analyzer{&analysis.HotCall{}})
+}
+
+func TestBenchParity(t *testing.T) {
+	checkFixture(t, "benchparity", []analysis.Analyzer{&analysis.BenchParity{}})
+}
+
+// TestParallelRunDeterministic pins the parallel driver's contract:
+// whatever the worker count, the merged, sorted diagnostics are
+// identical — per-package fan-out must not leak scheduling order into
+// output.
+func TestParallelRunDeterministic(t *testing.T) {
+	run := func(workers int) []analysis.Diagnostic {
+		prog, _ := loadFixture(t, "hotalloc")
+		prog.Workers = workers
+		return prog.Run([]analysis.Analyzer{&analysis.HotAlloc{}, &analysis.HotCall{}, &analysis.BenchParity{}})
+	}
+	want := run(1)
+	if len(want) == 0 {
+		t.Fatal("fixture produced no diagnostics to compare")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d diagnostics, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Pos != want[i].Pos || got[i].Analyzer != want[i].Analyzer ||
+				got[i].Message != want[i].Message || got[i].Note != want[i].Note {
+				t.Errorf("workers=%d: diagnostic %d differs:\n got %v\nwant %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestIgnoreDirectives pins the whole suppression lifecycle on one
 // fixture: a valid ignore above the line and one on the line both
 // suppress, a stale ignore is reported as unused, and the two malformed
@@ -172,15 +212,15 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 }
 
-// TestAnalyzersRegistered pins the registry: eight analyzers, stable
+// TestAnalyzersRegistered pins the registry: eleven analyzers, stable
 // unique names, non-empty docs — the contract -list and the ignore
 // grammar rely on.
 func TestAnalyzersRegistered(t *testing.T) {
 	as := analysis.Analyzers()
-	if len(as) != 8 {
-		t.Fatalf("got %d analyzers, want 8", len(as))
+	if len(as) != 11 {
+		t.Fatalf("got %d analyzers, want 11", len(as))
 	}
-	want := []string{"taint", "dimension", "unitsafety", "errdrop", "ctxflow", "goleak", "lockorder", "counterparity"}
+	want := []string{"taint", "dimension", "unitsafety", "errdrop", "ctxflow", "goleak", "lockorder", "counterparity", "hotalloc", "hotcall", "benchparity"}
 	for i, a := range as {
 		if a.Name() != want[i] {
 			t.Errorf("analyzer %d is %q, want %q", i, a.Name(), want[i])
@@ -284,13 +324,16 @@ func TestSortDiagnostics(t *testing.T) {
 		return d
 	}
 	want := []analysis.Diagnostic{
+		mk("a.go", 1, 1, "benchparity", "analyzer order is lexical, not registry"),
 		mk("a.go", 1, 1, "ctxflow", "first"),
 		mk("a.go", 1, 1, "errdrop", "same spot, later analyzer"),
 		mk("a.go", 1, 1, "errdrop", "same spot, same analyzer, later message"),
+		mk("a.go", 1, 1, "hotalloc", "note-carrying diagnostics obey the same keys"),
 		mk("a.go", 1, 2, "ctxflow", "later column"),
 		mk("a.go", 2, 1, "ctxflow", "later line"),
 		mk("b.go", 1, 1, "ctxflow", "later file"),
 	}
+	want[4].Note = true
 	// Reversed input: every comparison key must do its job to restore it.
 	got := make([]analysis.Diagnostic, len(want))
 	for i := range want {

@@ -56,6 +56,8 @@ type concFacts struct {
 
 // concFor solves the concurrency summaries once and caches them.
 func (f *Facts) concFor() *concFacts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.conc != nil {
 		return f.conc
 	}

@@ -54,8 +54,8 @@ func (a *CounterParity) Check(prog *Program, pkg *Package) []Diagnostic {
 			if !fld.Exported() || used[fld] {
 				continue
 			}
-			diags = append(diags, Diagnostic{prog.Fset.Position(fld.Pos()), a.Name(),
-				fmt.Sprintf("counters.Metrics field %s has no renderer/exporter use outside %s; the golden schema would silently lose this column", fld.Name(), pkg.Path), nil})
+			diags = append(diags, Diagnostic{Pos: prog.Fset.Position(fld.Pos()), Analyzer: a.Name(),
+				Message: fmt.Sprintf("counters.Metrics field %s has no renderer/exporter use outside %s; the golden schema would silently lose this column", fld.Name(), pkg.Path)})
 		}
 	}
 
@@ -125,8 +125,8 @@ func (a *CounterParity) checkMetricRegistration(prog *Program, obsPkg *Package) 
 		if !ok || consts[metricValue(c)] != c || registered[metricValue(c)] {
 			continue
 		}
-		diags = append(diags, Diagnostic{prog.Fset.Position(c.Pos()), a.Name(),
-			fmt.Sprintf("obs metric constant %s (%q) is never registered via NewCounter/NewGauge/NewHistogram; the metric can never appear in a snapshot", c.Name(), metricValue(c)), nil})
+		diags = append(diags, Diagnostic{Pos: prog.Fset.Position(c.Pos()), Analyzer: a.Name(),
+			Message: fmt.Sprintf("obs metric constant %s (%q) is never registered via NewCounter/NewGauge/NewHistogram; the metric can never appear in a snapshot", c.Name(), metricValue(c))})
 	}
 	return diags
 }
@@ -221,13 +221,13 @@ func (a *CounterParity) checkEventNames(prog *Program, pkg *Package) []Diagnosti
 
 	var diags []Diagnostic
 	if len(lit.Elts) != events {
-		diags = append(diags, Diagnostic{prog.Fset.Position(litPos.Pos()), a.Name(),
-			fmt.Sprintf("eventNames has %d entries for %d Event constants; a missing entry serializes as an empty column name", len(lit.Elts), events), nil})
+		diags = append(diags, Diagnostic{Pos: prog.Fset.Position(litPos.Pos()), Analyzer: a.Name(),
+			Message: fmt.Sprintf("eventNames has %d entries for %d Event constants; a missing entry serializes as an empty column name", len(lit.Elts), events)})
 	}
 	for _, elt := range lit.Elts {
 		if bl, ok := elt.(*ast.BasicLit); ok && bl.Value == `""` {
-			diags = append(diags, Diagnostic{prog.Fset.Position(bl.Pos()), a.Name(),
-				"empty event name would serialize as an empty golden-artifact column", nil})
+			diags = append(diags, Diagnostic{Pos: prog.Fset.Position(bl.Pos()), Analyzer: a.Name(),
+				Message: "empty event name would serialize as an empty golden-artifact column"})
 		}
 	}
 	return diags

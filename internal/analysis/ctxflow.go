@@ -50,7 +50,7 @@ func (a *CtxFlow) Check(prog *Program, pkg *Package) []Diagnostic {
 func (a *CtxFlow) checkBody(prog *Program, pkg *Package, cf *concFacts, b Body) []Diagnostic {
 	var diags []Diagnostic
 	report := func(n ast.Node, fix *SuggestedFix, format string, args ...any) {
-		diags = append(diags, Diagnostic{prog.Fset.Position(n.Pos()), a.Name(), fmt.Sprintf(format, args...), fix})
+		diags = append(diags, Diagnostic{Pos: prog.Fset.Position(n.Pos()), Analyzer: a.Name(), Message: fmt.Sprintf(format, args...), Fix: fix})
 	}
 	info := pkg.Info
 	decl, _ := b.Owner.(*ast.FuncDecl)

@@ -149,6 +149,8 @@ type dimFacts struct {
 // bottom-up over the call graph until stable so chains of helpers
 // propagate (Latency returns Nanoseconds()/n returns ns).
 func (f *Facts) dimsFor() *dimFacts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.dims != nil {
 		return f.dims
 	}
@@ -821,7 +823,7 @@ func (a *Dimension) Check(prog *Program, pkg *Package) []Diagnostic {
 		an := newDimAnalysis(fi, df)
 		an.solve()
 		an.report = func(n ast.Node, format string, args ...any) {
-			d := Diagnostic{prog.Fset.Position(n.Pos()), a.Name(), fmt.Sprintf(format, args...), nil}
+			d := Diagnostic{Pos: prog.Fset.Position(n.Pos()), Analyzer: a.Name(), Message: fmt.Sprintf(format, args...)}
 			key := d.Pos.String() + d.Message
 			if !seen[key] {
 				seen[key] = true

@@ -34,7 +34,7 @@ var droppyDefers = map[string]bool{"Close": true, "Flush": true, "Sync": true}
 func (a *ErrDrop) Check(prog *Program, pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	report := func(n ast.Node, fix *SuggestedFix, format string, args ...any) {
-		diags = append(diags, Diagnostic{prog.Fset.Position(n.Pos()), a.Name(), fmt.Sprintf(format, args...), fix})
+		diags = append(diags, Diagnostic{Pos: prog.Fset.Position(n.Pos()), Analyzer: a.Name(), Message: fmt.Sprintf(format, args...), Fix: fix})
 	}
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

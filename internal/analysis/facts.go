@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"sync"
 )
 
 // This file is the dataflow engine's shared substrate. A loaded Program
@@ -59,16 +60,32 @@ type Facts struct {
 	// against.
 	FieldUses map[*types.Var]map[*Package]bool
 
+	// NamedTypes lists every package-level named type of the module, in
+	// package/source order — the set hotcall searches for concrete
+	// implementations when it argues an interface call can devirtualize.
+	NamedTypes []*types.Named
+
 	bodies map[*Package][]Body
+
+	// mu serializes the lazy module-wide solves below: with per-package
+	// analyzer runs fanned out over a worker pool, the first Check calls
+	// of one analyzer race to build its fixed point. Each getter
+	// double-checks under the lock; after a layer is built it is
+	// read-only and needs no further synchronization.
+	mu sync.Mutex
 
 	taint *taintFacts // solved lazily by the taint analyzer
 	dims  *dimFacts   // solved lazily by the dimension analyzer
 	conc  *concFacts  // solved lazily by the concurrency analyzers
+	hotf  *hotFacts   // solved lazily by the PGO-driven analyzers
+	bench *benchFacts // solved lazily by the benchparity analyzer
 }
 
 // Facts returns the program's shared analysis facts, building them on
-// first use.
+// first use. Safe for concurrent use by the parallel analyzer driver.
 func (p *Program) Facts() *Facts {
+	p.factsMu.Lock()
+	defer p.factsMu.Unlock()
 	if p.facts == nil {
 		p.facts = buildFacts(p)
 	}
@@ -184,6 +201,20 @@ func buildFacts(p *Program) *Facts {
 		visit(fi)
 	}
 	f.Funcs = order
+
+	// Package-level named types, for implements-style queries.
+	for _, pkg := range p.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				f.NamedTypes = append(f.NamedTypes, named)
+			}
+		}
+	}
 
 	// Field-use relation: which packages select which struct fields.
 	for _, pkg := range p.Packages {

@@ -50,8 +50,8 @@ func (a *GoLeak) Check(prog *Program, pkg *Package) []Diagnostic {
 				return true
 			}
 			if reason := a.checkSpawn(pkg, cf, b, gs); reason != "" {
-				diags = append(diags, Diagnostic{prog.Fset.Position(gs.Pos()), a.Name(),
-					"goroutine has no provable termination path: " + reason, nil})
+				diags = append(diags, Diagnostic{Pos: prog.Fset.Position(gs.Pos()), Analyzer: a.Name(),
+					Message: "goroutine has no provable termination path: " + reason})
 			}
 			return true
 		})

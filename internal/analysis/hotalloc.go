@@ -1,0 +1,516 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags heap allocations in profile-hot code — the silent way to
+// give back the raw-speed campaign's wins. PR 6 bought ~2.2× on the cycle
+// engine partly by driving hot-path allocations to zero (machine pooling,
+// SoA state, `TestPoolGetPutNoAllocs`); an accidental closure, boxed
+// interface argument, or capacity-less append in that code costs real
+// throughput without failing any test. The hot set comes from the
+// checked-in PGO profile plus //xeonlint:hot directives (see pgo.go).
+//
+// Inside hot loops (including the whole body of a function called from a
+// hot loop):
+//
+//   - string concatenation building a value per iteration (use
+//     strings.Builder)
+//   - fmt.Sprint/Sprintf/Sprintln/Errorf, which allocate their result
+//   - capturing closures, which allocate per iteration
+//   - defer, which grows the defer chain per iteration (with a -fix
+//     rewrite to a direct call at the defer site)
+//   - append to a slice created without a capacity hint (with a -fix
+//     adding the capacity when the loop bound is derivable)
+//   - passing a concrete non-pointer value to an interface parameter,
+//     which boxes an allocation per iteration
+//
+// Anywhere in a profile-hot function:
+//
+//   - a composite literal whose address escapes through a return or a
+//     field store, allocating on every call
+type HotAlloc struct{}
+
+func (*HotAlloc) Name() string { return "hotalloc" }
+func (*HotAlloc) Doc() string {
+	return "flag per-iteration heap allocations (closures, fmt, string concat, boxing, defer, capacity-less append) in profile-hot code"
+}
+
+func (a *HotAlloc) Check(prog *Program, pkg *Package) []Diagnostic {
+	facts := prog.Facts()
+	hf := facts.hotFor()
+	var diags []Diagnostic
+	for _, fi := range facts.PkgFuncs(pkg) {
+		reason, hot := hf.hot[fi.Fn]
+		if !hot {
+			continue
+		}
+		w := &hotAllocWalker{
+			a: a, prog: prog, pkg: pkg, fi: fi,
+			reason:   reason,
+			bodyLoop: hf.loopHot[fi.Fn],
+			slices:   localSliceDecls(pkg.Info, fi.Decl.Body),
+		}
+		w.walk(fi.Decl.Body, nil)
+		diags = append(diags, w.diags...)
+	}
+	return diags
+}
+
+// sliceDecl records how a function-local slice variable was created, for
+// the capacity-hint check.
+type sliceDecl struct {
+	// makeCall is the `make([]T, 0)` expression when the variable was
+	// created that way (the fixable shape); nil for `var s []T` and
+	// `s := []T{}`.
+	makeCall *ast.CallExpr
+	hasCap   bool
+}
+
+// localSliceDecls indexes the slice variables a function creates and how:
+// `var s []T`, `s := []T{}`, and `s := make([]T, len[, cap])`.
+func localSliceDecls(info *types.Info, body *ast.BlockStmt) map[*types.Var]*sliceDecl {
+	out := map[*types.Var]*sliceDecl{}
+	record := func(def types.Object, rhs ast.Expr) {
+		v, ok := def.(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		// Only the creation shapes that demonstrably start with zero
+		// capacity count: `var s []T`, `s := []T{}`, `s := make([]T, n)`.
+		// A reslice like `s := buf[:0]` inherits pooled capacity, and an
+		// arbitrary call's result is unknown — neither is a finding.
+		d := &sliceDecl{}
+		switch rhs := ast.Unparen(rhs).(type) {
+		case nil:
+		case *ast.CompositeLit:
+			if len(rhs.Elts) != 0 {
+				return
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(rhs.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				return
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return
+			}
+			d.makeCall = rhs
+			d.hasCap = len(rhs.Args) >= 3
+		default:
+			return
+		}
+		out[v] = d
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					record(info.Defs[id], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				var rhs ast.Expr
+				if i < len(n.Values) {
+					rhs = n.Values[i]
+				}
+				record(info.Defs[name], rhs)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type hotAllocWalker struct {
+	a        *HotAlloc
+	prog     *Program
+	pkg      *Package
+	fi       *FuncInfo
+	reason   string
+	bodyLoop bool
+	slices   map[*types.Var]*sliceDecl
+	diags    []Diagnostic
+}
+
+func (w *hotAllocWalker) report(n ast.Node, fix *SuggestedFix, format string, args ...any) {
+	w.diags = append(w.diags, Diagnostic{
+		Pos:      w.prog.Fset.Position(n.Pos()),
+		Analyzer: w.a.Name(),
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
+// inLoop reports whether the current loop stack (plus a body that is
+// itself loop context) means per-iteration execution.
+func (w *hotAllocWalker) inLoop(loops []ast.Node) bool {
+	return w.bodyLoop || len(loops) > 0
+}
+
+// walk traverses the body tracking the enclosing loops. Function-literal
+// bodies inherit the current loop context: a literal built in a hot loop
+// is (at best) called once per iteration.
+func (w *hotAllocWalker) walk(n ast.Node, loops []ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			if m.Init != nil {
+				w.walk(m.Init, loops)
+			}
+			inner := append(loops, ast.Node(m))
+			if m.Cond != nil {
+				w.walk(m.Cond, inner)
+			}
+			if m.Post != nil {
+				w.walk(m.Post, inner)
+			}
+			w.walk(m.Body, inner)
+			return false
+		case *ast.RangeStmt:
+			w.walk(m.X, loops)
+			w.walk(m.Body, append(loops, ast.Node(m)))
+			return false
+		case *ast.FuncLit:
+			if w.inLoop(loops) && capturesOuter(w.pkg.Info, m) {
+				w.report(m, nil,
+					"closure capturing outer variables in a hot loop allocates per iteration (%s); hoist the closure or pass state explicitly", w.reason)
+			}
+			return true
+		case *ast.DeferStmt:
+			if w.inLoop(loops) {
+				fix := &SuggestedFix{
+					Message: "call directly at the defer site (defers run at function exit, not loop exit)",
+					Edits:   []TextEdit{{Pos: m.Pos(), End: m.Call.Pos()}},
+				}
+				what := callName(w.pkg.Info, m.Call)
+				if _, isLit := ast.Unparen(m.Call.Fun).(*ast.FuncLit); isLit {
+					what = "the deferred body"
+				}
+				w.report(m, fix,
+					"defer in a hot loop grows the defer chain every iteration (%s); run %s at the end of the iteration instead",
+					w.reason, what)
+			}
+		case *ast.AssignStmt:
+			if w.inLoop(loops) {
+				w.checkStringConcat(m)
+			}
+		case *ast.CallExpr:
+			if w.inLoop(loops) {
+				w.checkFmtAlloc(m)
+				w.checkAppend(m, loops)
+				w.checkBoxing(m)
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				w.checkEscapingComposite(m, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkStringConcat flags `s += x` and `s = s + x` on strings.
+func (w *hotAllocWalker) checkStringConcat(n *ast.AssignStmt) {
+	if len(n.Lhs) != 1 {
+		return
+	}
+	lhsType := w.pkg.Info.TypeOf(n.Lhs[0])
+	if lhsType == nil || !isStringType(lhsType) {
+		return
+	}
+	switch n.Tok {
+	case token.ADD_ASSIGN: // s += x
+	case token.ASSIGN: // s = s + x
+		bin, ok := ast.Unparen(n.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD {
+			return
+		}
+		lhsObj := chainObject(w.pkg.Info, n.Lhs[0])
+		if lhsObj == nil || chainObject(w.pkg.Info, leftmostOperand(bin)) != lhsObj {
+			return
+		}
+	default:
+		return
+	}
+	w.report(n, nil,
+		"string concatenation in a hot loop allocates a new string per iteration (%s); accumulate in a strings.Builder", w.reason)
+}
+
+// checkFmtAlloc flags the fmt calls that allocate their result.
+func (w *hotAllocWalker) checkFmtAlloc(call *ast.CallExpr) {
+	fn := calleeFunc(w.pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	switch fn.Name() {
+	case "Sprint", "Sprintf", "Sprintln", "Errorf":
+		w.report(call, nil,
+			"fmt.%s in a hot loop allocates and reflects per iteration (%s); hoist it, or build with strconv.Append* into a reused buffer",
+			fn.Name(), w.reason)
+	}
+}
+
+// checkAppend flags appends to slices created without a capacity hint,
+// attaching a make-capacity fix when the loop bound is derivable.
+func (w *hotAllocWalker) checkAppend(call *ast.CallExpr, loops []ast.Node) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if _, isBuiltin := w.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := w.pkg.Info.Uses[target].(*types.Var)
+	if !ok {
+		return
+	}
+	decl, ok := w.slices[v]
+	if !ok || decl.hasCap {
+		return
+	}
+	var fix *SuggestedFix
+	bound := ""
+	if decl.makeCall != nil && len(decl.makeCall.Args) == 2 {
+		if bound = loopBound(w.pkg.Info, loops); bound != "" {
+			fix = &SuggestedFix{
+				Message: "preallocate: the loop bound is " + bound,
+				Edits: []TextEdit{{
+					Pos: decl.makeCall.Rparen, End: decl.makeCall.Rparen,
+					NewText: ", " + bound,
+				}},
+			}
+		}
+	}
+	if bound != "" {
+		w.report(call, fix,
+			"append to %s in a hot loop regrows without a capacity hint (%s); preallocate with make(..., 0, %s)",
+			target.Name, w.reason, bound)
+		return
+	}
+	w.report(call, fix,
+		"append to %s in a hot loop regrows without a capacity hint (%s); size the make call or reuse a buffer",
+		target.Name, w.reason)
+}
+
+// loopBound derives a textual iteration bound from the innermost
+// enclosing loop: `for i := 0; i < N; i++` gives "N", `for range xs` over
+// a slice/array/map/string gives "len(xs)". Returns "" when no clean
+// bound exists.
+func loopBound(info *types.Info, loops []ast.Node) string {
+	if len(loops) == 0 {
+		return ""
+	}
+	switch loop := loops[len(loops)-1].(type) {
+	case *ast.ForStmt:
+		bin, ok := ast.Unparen(loop.Cond).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.LSS && bin.Op != token.LEQ) {
+			return ""
+		}
+		if !pureBoundExpr(bin.Y) {
+			return ""
+		}
+		b := exprString(bin.Y)
+		if bin.Op == token.LEQ {
+			b += "+1"
+		}
+		return b
+	case *ast.RangeStmt:
+		if !pureBoundExpr(loop.X) {
+			return ""
+		}
+		tv, ok := info.Types[loop.X]
+		if !ok || tv.Type == nil {
+			return ""
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Map, *types.Basic:
+			return "len(" + exprString(loop.X) + ")"
+		}
+	}
+	return ""
+}
+
+// pureBoundExpr accepts the expressions safe to duplicate into a make
+// capacity: identifiers, selector chains, and integer literals.
+func pureBoundExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.BasicLit:
+		return e.Kind == token.INT
+	case *ast.SelectorExpr:
+		return pureBoundExpr(e.X)
+	}
+	return false
+}
+
+// checkBoxing flags concrete non-pointer values passed to interface
+// parameters — each such call boxes the value into a fresh allocation
+// (pointer-shaped values are stored inline in the interface word).
+func (w *hotAllocWalker) checkBoxing(call *ast.CallExpr) {
+	fn := calleeFunc(w.pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// fmt is flagged wholesale by checkFmtAlloc; double reporting the
+	// variadic ...any boxing would be noise.
+	if fn.Pkg().Path() == "fmt" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len()-1 {
+			pi = sig.Params().Len() - 1
+		}
+		if pi >= sig.Params().Len() {
+			break
+		}
+		param := sig.Params().At(pi)
+		pt := param.Type()
+		if sig.Variadic() && pi == sig.Params().Len()-1 && !call.Ellipsis.IsValid() {
+			if sl, ok := pt.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		iface, isIface := pt.Underlying().(*types.Interface)
+		if !isIface || isErrorType(pt) {
+			continue
+		}
+		_ = iface
+		tv, ok := w.pkg.Info.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() {
+			continue
+		}
+		at := tv.Type
+		if !boxesOnConversion(at) {
+			continue
+		}
+		w.report(arg, nil,
+			"passing %s by value to interface parameter %q of %s boxes an allocation per iteration (%s); pass a pointer or use a concrete parameter type",
+			types.TypeString(at, types.RelativeTo(w.pkg.Types)), param.Name(), shortFuncName(fn), w.reason)
+	}
+}
+
+// boxesOnConversion reports whether converting a value of type t to an
+// interface heap-allocates: true for multi-word and non-pointer-shaped
+// types (structs, arrays, strings, slices, sizable basics), false for
+// pointers, channels, maps, funcs, unsafe pointers, and interfaces.
+func boxesOnConversion(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	default:
+		return true
+	}
+}
+
+// checkEscapingComposite flags `&T{...}` literals that escape the hot
+// function through a return statement or a field store.
+func (w *hotAllocWalker) checkEscapingComposite(n *ast.UnaryExpr, root ast.Node) {
+	lit, ok := ast.Unparen(n.X).(*ast.CompositeLit)
+	if !ok || lit.Type == nil {
+		return
+	}
+	escapes := false
+	ast.Inspect(root, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				if containsNode(r, n) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range m.Rhs {
+				if !containsNode(r, n) || i >= len(m.Lhs) {
+					continue
+				}
+				if _, isSel := ast.Unparen(m.Lhs[i]).(*ast.SelectorExpr); isSel {
+					escapes = true
+				}
+			}
+		}
+		return !escapes
+	})
+	if !escapes {
+		return
+	}
+	w.report(n, nil,
+		"&%s{...} escapes hot function %s and allocates on every call (%s); reuse a pooled or caller-provided value",
+		exprString(lit.Type), shortFuncName(w.fi.Fn), w.reason)
+}
+
+// containsNode reports whether target is within the subtree rooted at n.
+func containsNode(n ast.Node, target ast.Node) bool {
+	return n.Pos() <= target.Pos() && target.End() <= n.End()
+}
+
+// capturesOuter reports whether a function literal references variables
+// declared outside itself but inside some function — the captures that
+// force the closure (and captured values) to heap-allocate.
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captured; anything declared
+		// before the literal but used inside it is.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// leftmostOperand descends the left spine of a binary expression.
+func leftmostOperand(e ast.Expr) ast.Expr {
+	for {
+		bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+		if !ok {
+			return ast.Unparen(e)
+		}
+		e = bin.X
+	}
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotCall flags per-iteration call overhead in profile-hot loops — the
+// dispatch and lookup costs that stay invisible to correctness tests but
+// show up directly in the cycle engine's instructions-per-second:
+//
+//   - an interface method call where exactly one concrete in-module type
+//     implements the interface: the dispatch can devirtualize (and then
+//     inline) by using the concrete type
+//   - a map lookup whose map and key are both loop-invariant: hoist the
+//     lookup above the loop
+//   - channel sends/receives/selects, which take the runtime's channel
+//     lock per operation: batch, or restructure to a slice handoff
+//   - a call from hot code into a cold in-module function too large to
+//     inline — reported as a note (advisory, does not fail the lint),
+//     since splitting a function is a judgement call
+type HotCall struct{}
+
+func (*HotCall) Name() string { return "hotcall" }
+func (*HotCall) Doc() string {
+	return "flag devirtualizable interface calls, loop-invariant map lookups, and channel ops in profile-hot loops"
+}
+
+// inlineBudgetNodes approximates the compiler's inlining budget: bodies
+// above this many AST nodes will not inline into their hot callers.
+const inlineBudgetNodes = 120
+
+func (a *HotCall) Check(prog *Program, pkg *Package) []Diagnostic {
+	facts := prog.Facts()
+	hf := facts.hotFor()
+	var diags []Diagnostic
+	for _, fi := range facts.PkgFuncs(pkg) {
+		reason, hot := hf.hot[fi.Fn]
+		if !hot {
+			continue
+		}
+		w := &hotCallWalker{
+			a: a, prog: prog, pkg: pkg, fi: fi, facts: facts, hf: hf,
+			reason:   reason,
+			bodyLoop: hf.loopHot[fi.Fn],
+			noted:    map[*types.Func]bool{},
+		}
+		w.walk(fi.Decl.Body, nil)
+		diags = append(diags, w.diags...)
+	}
+	return diags
+}
+
+type hotCallWalker struct {
+	a        *HotCall
+	prog     *Program
+	pkg      *Package
+	fi       *FuncInfo
+	facts    *Facts
+	hf       *hotFacts
+	reason   string
+	bodyLoop bool
+	// noted dedupes the hot→cold advisory per callee: one note per
+	// (caller, callee) pair, not one per call site.
+	noted map[*types.Func]bool
+	diags []Diagnostic
+}
+
+func (w *hotCallWalker) report(n ast.Node, note bool, format string, args ...any) {
+	w.diags = append(w.diags, Diagnostic{
+		Pos:      w.prog.Fset.Position(n.Pos()),
+		Analyzer: w.a.Name(),
+		Message:  fmt.Sprintf(format, args...),
+		Note:     note,
+	})
+}
+
+func (w *hotCallWalker) inLoop(loops []ast.Node) bool {
+	return w.bodyLoop || len(loops) > 0
+}
+
+func (w *hotCallWalker) walk(n ast.Node, loops []ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			if m.Init != nil {
+				w.walk(m.Init, loops)
+			}
+			inner := append(loops, ast.Node(m))
+			if m.Cond != nil {
+				w.walk(m.Cond, inner)
+			}
+			if m.Post != nil {
+				w.walk(m.Post, inner)
+			}
+			w.walk(m.Body, inner)
+			return false
+		case *ast.RangeStmt:
+			w.walk(m.X, loops)
+			w.walk(m.Body, append(loops, ast.Node(m)))
+			return false
+		case *ast.CallExpr:
+			if w.inLoop(loops) {
+				w.checkInterfaceCall(m)
+				w.checkColdCallee(m)
+			}
+		case *ast.IndexExpr:
+			if w.inLoop(loops) {
+				w.checkInvariantMapLookup(m, loops)
+			}
+		case *ast.SendStmt:
+			if w.inLoop(loops) {
+				w.report(m, false,
+					"channel send in a hot loop takes the channel lock per iteration (%s); batch into a slice and send once", w.reason)
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && w.inLoop(loops) {
+				w.report(m, false,
+					"channel receive in a hot loop takes the channel lock per iteration (%s); drain in batches outside the hot path", w.reason)
+			}
+		case *ast.SelectStmt:
+			if w.inLoop(loops) {
+				w.report(m, false,
+					"select in a hot loop polls every case's channel lock per iteration (%s); restructure to a slice handoff or a coarser wakeup", w.reason)
+			}
+			// Still walk the bodies, but the comm clauses' channel ops are
+			// part of the select we just flagged — skip re-reporting them.
+			for _, clause := range m.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						w.walk(s, loops)
+					}
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// checkInterfaceCall flags interface method calls with exactly one
+// in-module concrete implementation.
+func (w *hotCallWalker) checkInterfaceCall(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := w.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	recv := s.Recv()
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok || isErrorType(recv) {
+		return
+	}
+	impls := w.moduleImplementations(iface)
+	if len(impls) != 1 {
+		return
+	}
+	w.report(call, false,
+		"interface call %s.%s in a hot loop dispatches dynamically (%s); %s is the only in-module implementation — use it concretely to devirtualize",
+		typeDisplay(recv, w.pkg), sel.Sel.Name, w.reason, typeDisplay(impls[0], w.pkg))
+}
+
+// moduleImplementations returns the module's named types satisfying
+// iface, by value or by pointer, skipping interface types themselves.
+func (w *hotCallWalker) moduleImplementations(iface *types.Interface) []types.Type {
+	var impls []types.Type
+	for _, named := range w.facts.NamedTypes {
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(named, iface) {
+			impls = append(impls, named)
+		} else if ptr := types.NewPointer(named); types.Implements(ptr, iface) {
+			impls = append(impls, ptr)
+		}
+	}
+	return impls
+}
+
+// checkInvariantMapLookup flags m[k] where neither the map nor the key
+// can change across iterations of the innermost enclosing loop.
+func (w *hotCallWalker) checkInvariantMapLookup(idx *ast.IndexExpr, loops []ast.Node) {
+	if len(loops) == 0 {
+		return // whole-body loop context has no loop node to test invariance against
+	}
+	tv, ok := w.pkg.Info.Types[idx.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	loop := loops[len(loops)-1]
+	mObj := chainObject(w.pkg.Info, idx.X)
+	kObj, kConst := lookupKeyObject(w.pkg.Info, idx.Index)
+	if mObj == nil || (!kConst && kObj == nil) {
+		return
+	}
+	// The lookup result being assigned is fine; the *map or key* being
+	// written in the loop defeats hoisting.
+	if objAssignedIn(w.pkg.Info, loop, mObj) || mapMutatedIn(w.pkg.Info, loop, mObj) {
+		return
+	}
+	if kObj != nil && objAssignedIn(w.pkg.Info, loop, kObj) {
+		return
+	}
+	w.report(idx, false,
+		"map lookup %s is loop-invariant in a hot loop (%s); hoist it above the loop", exprString(idx), w.reason)
+}
+
+// lookupKeyObject classifies a map key expression: a constant literal
+// (kConst), or a simple object chain whose root object is returned.
+func lookupKeyObject(info *types.Info, key ast.Expr) (obj types.Object, konst bool) {
+	key = ast.Unparen(key)
+	if _, ok := key.(*ast.BasicLit); ok {
+		return nil, true
+	}
+	if tv, ok := info.Types[key]; ok && tv.Value != nil {
+		return nil, true // constant expression
+	}
+	return chainObject(info, key), false
+}
+
+// objAssignedIn reports whether obj is the target of an assignment,
+// IncDec, or unary-& (potential aliasing write) anywhere in the loop.
+func objAssignedIn(info *types.Info, loop ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if chainObject(info, lhs) == obj {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if chainObject(info, n.X) == obj {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && chainObject(info, n.X) == obj {
+				found = true
+			}
+		case *ast.RangeStmt:
+			for _, lhs := range []ast.Expr{n.Key, n.Value} {
+				if lhs != nil && chainObject(info, lhs) == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mapMutatedIn reports whether the loop stores into or deletes from the
+// map rooted at obj.
+func mapMutatedIn(info *types.Info, loop ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && chainObject(info, idx.X) == obj {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 {
+					if chainObject(info, n.Args[0]) == obj {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkColdCallee emits an advisory note when a hot loop calls a cold
+// in-module function whose body exceeds the inlining budget.
+func (w *hotCallWalker) checkColdCallee(call *ast.CallExpr) {
+	fn := calleeFunc(w.pkg.Info, call)
+	if fn == nil || w.noted[fn] {
+		return
+	}
+	fi := w.facts.FuncOf[fn]
+	if fi == nil {
+		return // out-of-module or bodiless: nothing to say about its size
+	}
+	// Loop propagation marks every in-module loop callee hot, so "cold"
+	// here means: no profile or directive evidence of its own (loopHot
+	// marks the propagation-only members).
+	if _, calleeHot := w.hf.hot[fn]; calleeHot && !w.hf.loopHot[fn] {
+		return
+	}
+	size := 0
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n != nil {
+			size++
+		}
+		return true
+	})
+	if size <= inlineBudgetNodes {
+		return
+	}
+	w.noted[fn] = true
+	w.report(call, true,
+		"note: hot loop calls %s (~%d AST nodes), too large to inline and absent from the profile's hot set (%s); consider splitting its fast path",
+		shortFuncName(fn), size, w.reason)
+}
+
+// typeDisplay renders a type relative to the reporting package.
+func typeDisplay(t types.Type, pkg *Package) string {
+	return types.TypeString(t, types.RelativeTo(pkg.Types))
+}

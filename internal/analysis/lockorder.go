@@ -48,7 +48,7 @@ func (a *LockOrder) Check(prog *Program, pkg *Package) []Diagnostic {
 
 	// Local (single-package) patterns inherited from lockcheck.
 	report := func(n ast.Node, format string, args ...any) {
-		diags = append(diags, Diagnostic{prog.Fset.Position(n.Pos()), a.Name(), fmt.Sprintf(format, args...), nil})
+		diags = append(diags, Diagnostic{Pos: prog.Fset.Position(n.Pos()), Analyzer: a.Name(), Message: fmt.Sprintf(format, args...)})
 	}
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -76,6 +76,11 @@ func (a *LockOrder) Check(prog *Program, pkg *Package) []Diagnostic {
 // solve runs the module-wide held-lock walk and cycle detection once per
 // Program, caching the diagnostics on the shared concurrency facts.
 func (a *LockOrder) solve(prog *Program, cf *concFacts) {
+	// Serialized by the shared facts mutex: with per-package Check calls
+	// fanned out in parallel, the first two may race to solve.
+	f := prog.Facts()
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if cf.lockSolved {
 		return
 	}
@@ -173,9 +178,9 @@ func (a *LockOrder) cycleDiags(prog *Program, cf *concFacts, edges map[[2]*types
 		for _, v := range cf.sortedLockVars(inSCC) {
 			names = append(names, cf.lockName(v))
 		}
-		diags = append(diags, Diagnostic{at, a.Name(),
-			fmt.Sprintf("lock-order cycle among %v (edge %s -> %s here); potential deadlock — pick one acquisition order",
-				names, cf.lockName(from), cf.lockName(to)), nil})
+		diags = append(diags, Diagnostic{Pos: at, Analyzer: a.Name(),
+			Message: fmt.Sprintf("lock-order cycle among %v (edge %s -> %s here); potential deadlock — pick one acquisition order",
+				names, cf.lockName(from), cf.lockName(to))})
 	}
 	return diags
 }
@@ -197,7 +202,7 @@ type lockWalker struct {
 
 func (w *lockWalker) report(n ast.Node, format string, args ...any) {
 	w.cf.lockDiags = append(w.cf.lockDiags, Diagnostic{
-		w.prog.Fset.Position(n.Pos()), "lockorder", fmt.Sprintf(format, args...), nil})
+		Pos: w.prog.Fset.Position(n.Pos()), Analyzer: "lockorder", Message: fmt.Sprintf(format, args...)})
 }
 
 func copyHeld(held map[*types.Var]token.Pos) map[*types.Var]token.Pos {

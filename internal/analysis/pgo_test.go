@@ -1,0 +1,356 @@
+package analysis_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xeonomp/internal/analysis"
+)
+
+// Minimal protobuf encoder for synthesizing pprof profiles in tests.
+// Mirrors the subset pgo.go reads: sample_type, sample, location,
+// function, string_table, duration_nanos.
+
+type protoBuf struct{ bytes.Buffer }
+
+func (b *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		b.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	b.WriteByte(byte(v))
+}
+
+func (b *protoBuf) uintField(tag int, v uint64) {
+	b.varint(uint64(tag << 3)) // wire type 0
+	b.varint(v)
+}
+
+func (b *protoBuf) bytesField(tag int, data []byte) {
+	b.varint(uint64(tag<<3 | 2))
+	b.varint(uint64(len(data)))
+	b.Write(data)
+}
+
+func encValueType(typ, unit int) []byte {
+	var b protoBuf
+	b.uintField(1, uint64(typ))
+	b.uintField(2, uint64(unit))
+	return b.Bytes()
+}
+
+// encSample encodes a sample; packedLocs selects between the packed and
+// one-scalar-per-entry encodings of the repeated location_id field, both
+// of which real profiles use.
+func encSample(locs []uint64, vals []int64, packedLocs bool) []byte {
+	var b protoBuf
+	if packedLocs {
+		var p protoBuf
+		for _, l := range locs {
+			p.varint(l)
+		}
+		b.bytesField(1, p.Bytes())
+	} else {
+		for _, l := range locs {
+			b.uintField(1, l)
+		}
+	}
+	var v protoBuf
+	for _, val := range vals {
+		v.varint(uint64(val))
+	}
+	b.bytesField(2, v.Bytes())
+	return b.Bytes()
+}
+
+// encLocation encodes a location whose Line entries reference fnIDs,
+// innermost first.
+func encLocation(id uint64, fnIDs ...uint64) []byte {
+	var b protoBuf
+	b.uintField(1, id)
+	for _, fid := range fnIDs {
+		var line protoBuf
+		line.uintField(1, fid)
+		b.bytesField(4, line.Bytes())
+	}
+	return b.Bytes()
+}
+
+func encFunction(id uint64, nameIdx int) []byte {
+	var b protoBuf
+	b.uintField(1, id)
+	b.uintField(2, uint64(nameIdx))
+	return b.Bytes()
+}
+
+type testProfile struct {
+	strings    []string
+	valueTypes [][2]int // string indices: {type, unit}
+	functions  map[uint64]int
+	locations  map[uint64][]uint64
+	samples    []struct {
+		locs   []uint64
+		vals   []int64
+		packed bool
+	}
+	durationNs uint64
+}
+
+func (p *testProfile) encode() []byte {
+	var b protoBuf
+	for _, vt := range p.valueTypes {
+		b.bytesField(1, encValueType(vt[0], vt[1]))
+	}
+	for _, s := range p.samples {
+		b.bytesField(2, encSample(s.locs, s.vals, s.packed))
+	}
+	for id, fns := range p.locations {
+		b.bytesField(4, encLocation(id, fns...))
+	}
+	for id, name := range p.functions {
+		b.bytesField(5, encFunction(id, name))
+	}
+	for _, s := range p.strings {
+		b.bytesField(6, []byte(s))
+	}
+	if p.durationNs != 0 {
+		b.uintField(10, p.durationNs)
+	}
+	return b.Bytes()
+}
+
+func gzipped(data []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(data)
+	zw.Close()
+	return buf.Bytes()
+}
+
+// syntheticProfile builds the same shape as testdata/pgo/small.pgo: two
+// value columns (samples/count, cpu/nanoseconds), a dominant Kernel, a
+// folded closure sample, two sub-threshold functions, and a ghost name
+// absent from any source.
+func syntheticProfile() *testProfile {
+	return &testProfile{
+		strings: []string{
+			"", "samples", "count", "cpu", "nanoseconds",
+			"hotpgo.Kernel", "hotpgo.helper", "hotpgo.Cold",
+			"hotpgo.ghost", "hotpgo.Kernel.func1",
+		},
+		valueTypes: [][2]int{{1, 2}, {3, 4}},
+		functions:  map[uint64]int{1: 5, 2: 6, 3: 7, 4: 8, 5: 9},
+		locations: map[uint64][]uint64{
+			1: {1}, 2: {2}, 3: {3}, 4: {4}, 5: {5},
+		},
+		samples: []struct {
+			locs   []uint64
+			vals   []int64
+			packed bool
+		}{
+			{locs: []uint64{1}, vals: []int64{90, 9000}, packed: true},
+			{locs: []uint64{2, 1}, vals: []int64{1, 50}, packed: false},
+			{locs: []uint64{3}, vals: []int64{1, 50}, packed: true},
+			{locs: []uint64{4}, vals: []int64{9, 900}, packed: true},
+			{locs: []uint64{5, 1}, vals: []int64{1, 100}, packed: true},
+		},
+		durationNs: 2_000_000_000,
+	}
+}
+
+func TestPGOParseSynthetic(t *testing.T) {
+	raw := syntheticProfile().encode()
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"raw", raw},
+		{"gzipped", gzipped(raw)},
+	} {
+		p, err := analysis.ParsePGO(tc.data)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(p.SampleTypes) != 2 || p.SampleTypes[1].Type != "cpu" || p.SampleTypes[1].Unit != "nanoseconds" {
+			t.Errorf("%s: sample types = %+v", tc.name, p.SampleTypes)
+		}
+		if p.ValueIndex != 1 {
+			t.Errorf("%s: value index = %d, want 1 (the cpu column)", tc.name, p.ValueIndex)
+		}
+		if p.Total != 10100 {
+			t.Errorf("%s: total = %d, want 10100", tc.name, p.Total)
+		}
+		if p.DurationNs != 2_000_000_000 {
+			t.Errorf("%s: duration = %d", tc.name, p.DurationNs)
+		}
+		if got := p.Flat["hotpgo.Kernel"]; got != 9000 {
+			t.Errorf("%s: Kernel flat = %d, want 9000", tc.name, got)
+		}
+		if got := p.Flat["hotpgo.Kernel.func1"]; got != 100 {
+			t.Errorf("%s: Kernel.func1 flat = %d, want 100", tc.name, got)
+		}
+		// Kernel is on both its own sample and helper's stack: cum adds.
+		if got := p.Cum["hotpgo.Kernel"]; got != 9150 {
+			t.Errorf("%s: Kernel cum = %d, want 9150", tc.name, got)
+		}
+		if got := p.Flat["hotpgo.helper"]; got != 50 {
+			t.Errorf("%s: helper flat = %d, want 50", tc.name, got)
+		}
+		if share := p.FlatShare("hotpgo.ghost"); share < 0.089 || share > 0.090 {
+			t.Errorf("%s: ghost flat share = %v, want ~0.0891", tc.name, share)
+		}
+	}
+}
+
+// TestPGOInlinedLeaf pins flat attribution for a location carrying an
+// inlined call chain: Line[0] is the innermost frame and gets the flat
+// credit; the caller it was inlined into gets only cum.
+func TestPGOInlinedLeaf(t *testing.T) {
+	p := syntheticProfile()
+	p.locations[6] = []uint64{2, 1} // helper inlined into Kernel
+	p.samples = append(p.samples, struct {
+		locs   []uint64
+		vals   []int64
+		packed bool
+	}{locs: []uint64{6}, vals: []int64{1, 40}, packed: true})
+	prof, err := analysis.ParsePGO(p.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.Flat["hotpgo.helper"]; got != 90 {
+		t.Errorf("helper flat = %d, want 90 (50 direct + 40 inlined leaf)", got)
+	}
+	if got := prof.Flat["hotpgo.Kernel"]; got != 9000 {
+		t.Errorf("Kernel flat = %d, want 9000 (inlined sample is cum-only)", got)
+	}
+	if got := prof.Cum["hotpgo.Kernel"]; got != 9190 {
+		t.Errorf("Kernel cum = %d, want 9190", got)
+	}
+}
+
+// TestPGOCorrupt pins the error contract: corrupt and truncated inputs
+// fail with a descriptive error, never a panic.
+func TestPGOCorrupt(t *testing.T) {
+	raw := syntheticProfile().encode()
+	gz := gzipped(raw)
+
+	bad := map[string][]byte{
+		"empty gzip header":   {0x1f, 0x8b},
+		"truncated gzip body": gz[:len(gz)/2],
+		"garbage":             []byte("not a profile at all"),
+		"truncated message":   raw[:len(raw)-3],
+	}
+	// A length-delimited field whose length runs past the buffer.
+	var over protoBuf
+	over.varint(uint64(2<<3 | 2))
+	over.varint(1 << 20)
+	bad["overlong length"] = over.Bytes()
+	// A string index beyond the table.
+	short := syntheticProfile()
+	short.strings = short.strings[:3]
+	bad["string index out of range"] = short.encode()
+	// A sample referencing a location that was never defined.
+	ghost := syntheticProfile()
+	ghost.samples[0].locs = []uint64{99}
+	bad["unknown location"] = ghost.encode()
+
+	for name, data := range bad {
+		p, err := analysis.ParsePGO(data)
+		if err == nil {
+			t.Errorf("%s: parsed without error into %+v", name, p)
+			continue
+		}
+		if !strings.Contains(err.Error(), "malformed") && !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("%s: error %q lacks a malformed/out-of-range marker", name, err)
+		}
+	}
+}
+
+// TestPGOFixtureHotSet is the golden test for hot-set extraction over
+// the checked-in fixture profile: deterministic membership, order,
+// reasons, and staleness reporting — run twice to pin determinism.
+func TestPGOFixtureHotSet(t *testing.T) {
+	prof, err := analysis.ReadPGO(filepath.Join("testdata", "pgo", "small.pgo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		prog, _ := loadFixture(t, "hotpgo")
+		prog.PGO = prof
+
+		hot := prog.HotFunctions()
+		if len(hot) != 2 {
+			t.Fatalf("round %d: hot set has %d members, want 2: %+v", round, len(hot), hot)
+		}
+		if hot[0].Name != "hotpgo.Kernel" {
+			t.Errorf("round %d: hot[0] = %s, want hotpgo.Kernel", round, hot[0].Name)
+		}
+		if hot[0].Flat < 0.90 || hot[0].Flat > 0.91 {
+			t.Errorf("round %d: Kernel flat share = %v, want ~0.9010 (closure folded in)", round, hot[0].Flat)
+		}
+		if !strings.Contains(hot[0].Reason, "flat in profile") {
+			t.Errorf("round %d: Kernel reason = %q", round, hot[0].Reason)
+		}
+		if hot[1].Name != "hotpgo.helper" {
+			t.Errorf("round %d: hot[1] = %s, want hotpgo.helper", round, hot[1].Name)
+		}
+		if want := "called in a hot loop of hotpgo.Kernel"; hot[1].Reason != want {
+			t.Errorf("round %d: helper reason = %q, want %q", round, hot[1].Reason, want)
+		}
+		for _, h := range hot {
+			if h.Fn == nil {
+				t.Errorf("round %d: hot function %s has no types.Func", round, h.Name)
+			}
+		}
+
+		unresolved := prog.UnresolvedHotNames()
+		if len(unresolved) != 1 || unresolved[0] != "hotpgo.ghost" {
+			t.Errorf("round %d: unresolved = %v, want [hotpgo.ghost]", round, unresolved)
+		}
+	}
+}
+
+// TestPGODefaultProfile asserts the checked-in default profile decodes
+// and resolves onto the real module: non-empty hot set, every member a
+// declared module function — the freshness contract CI enforces.
+func TestPGODefaultProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	prof, err := analysis.ReadPGO(filepath.Join("..", "..", "cmd", "xeonchar", "default.pgo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Total <= 0 || len(prof.Flat) == 0 {
+		t.Fatalf("default profile decoded empty: total=%d flat=%d", prof.Total, len(prof.Flat))
+	}
+	prog, err := (&analysis.Loader{Root: filepath.Join("..", "..")}).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.PGO = prof
+	hot := prog.HotFunctions()
+	if len(hot) == 0 {
+		t.Fatal("default profile resolves to an empty hot set")
+	}
+	pkgs := map[string]bool{}
+	for _, h := range hot {
+		if h.Fn == nil || h.Fn.Pkg() == nil {
+			t.Errorf("hot function %s did not resolve to a module function", h.Name)
+			continue
+		}
+		pkgs[h.Fn.Pkg().Path()] = true
+	}
+	// The profile must land on the cycle engine the benchmarks drive.
+	for _, want := range []string{"xeonomp/internal/cpu", "xeonomp/internal/machine"} {
+		if !pkgs[want] {
+			t.Errorf("hot set misses package %s; profile is stale", want)
+		}
+	}
+	if unresolved := prog.UnresolvedHotNames(); len(unresolved) != 0 {
+		t.Errorf("default profile names missing from source (stale profile): %v", unresolved)
+	}
+}

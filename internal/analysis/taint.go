@@ -216,6 +216,8 @@ type taintFacts struct {
 
 // taintFor solves the whole-module taint analysis once and caches it.
 func (f *Facts) taintFor() *taintFacts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.taint != nil {
 		return f.taint
 	}
@@ -785,7 +787,7 @@ func (a *NDTaint) Check(prog *Program, pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	seen := map[string]bool{}
 	report := func(n ast.Node, format string, args ...any) {
-		d := Diagnostic{prog.Fset.Position(n.Pos()), a.Name(), fmt.Sprintf(format, args...), nil}
+		d := Diagnostic{Pos: prog.Fset.Position(n.Pos()), Analyzer: a.Name(), Message: fmt.Sprintf(format, args...)}
 		key := d.Pos.String() + d.Message
 		if !seen[key] {
 			seen[key] = true

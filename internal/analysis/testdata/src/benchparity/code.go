@@ -1,0 +1,43 @@
+// Package benchparity seeds the benchmark-coverage check: hot functions
+// must be reachable from a Benchmark*, directly, through a test helper,
+// or across packages — and an unreached one is a finding.
+package benchparity
+
+import "benchparity/inner"
+
+// Covered is hot and reached by BenchmarkCovered through the runCovered
+// test helper; its call into inner.Mix extends coverage interprocedurally.
+//
+//xeonlint:hot
+func Covered(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += inner.Mix(v)
+	}
+	return total
+}
+
+// Orphan is hot with no benchmark anywhere on a path to it.
+//
+//xeonlint:hot
+func Orphan(v int) int { // want `not reachable from any Benchmark`
+	return v * v
+}
+
+// Scratch is hot and deliberately unbenchmarked: the reasoned ignore
+// keeps it quiet, pinning the suppression path.
+//
+//xeonlint:hot
+//xeonlint:ignore benchparity measured through Covered's composite benchmark; a solo benchmark would duplicate it
+func Scratch(v int) int {
+	return v + 1
+}
+
+// plain is cold: no benchmark requirement applies.
+func plain(v int) int { return v - 1 }
+
+var (
+	_ = Orphan
+	_ = Scratch
+	_ = plain
+)

@@ -1,0 +1,3 @@
+module benchparity
+
+go 1.22

@@ -1,0 +1,10 @@
+// Package inner holds Mix: hot by directive, benchmark-covered only
+// transitively — BenchmarkCovered → runCovered → Covered → Mix.
+package inner
+
+// Mix folds one value.
+//
+//xeonlint:hot
+func Mix(v int) int {
+	return v*3 + 1
+}

@@ -1,0 +1,11 @@
+package fixable
+
+import "testing"
+
+var benchSink []int
+
+func BenchmarkHotLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = hotLoop(64)
+	}
+}

@@ -1,0 +1,20 @@
+// Fixable hotalloc findings: a defer queued per hot-loop iteration (the
+// fix calls directly at the site) and an append into a capacity-less
+// make with a derivable bound (the fix adds the capacity).
+package fixable
+
+// hotLoop is hot by directive; BenchmarkHotLoop keeps benchparity quiet.
+//
+//xeonlint:hot
+func hotLoop(n int) []int {
+	xs := make([]int, 0)
+	for i := 0; i < n; i++ {
+		defer noteDone(i)
+		xs = append(xs, i)
+	}
+	return xs
+}
+
+func noteDone(int) {}
+
+var _ = hotLoop

@@ -1,0 +1,125 @@
+// Package hotalloc seeds per-iteration allocation findings in
+// directive-hot functions, with cold twins the analyzer must stay quiet
+// on. No profile is loaded for fixtures: //xeonlint:hot is the only
+// hotness source.
+package hotalloc
+
+import (
+	"fmt"
+
+	"hotalloc/inner"
+)
+
+// Concat builds strings the allocating way in its hot loops.
+//
+//xeonlint:hot
+func Concat(names []string, n int) string {
+	out := ""
+	for _, name := range names {
+		out += name // want `string concatenation in a hot loop`
+	}
+	for i := 0; i < n; i++ {
+		out = out + "x" // want `string concatenation in a hot loop`
+	}
+	return out
+}
+
+// Labels allocates per iteration twice over: a fmt.Sprintf result and an
+// append into a slice made with zero capacity despite the known bound.
+//
+//xeonlint:hot
+func Labels(n int) []string {
+	ls := make([]string, 0)
+	for i := 0; i < n; i++ {
+		l := fmt.Sprintf("l%d", i) // want `fmt.Sprintf in a hot loop`
+		ls = append(ls, l)         // want `append to ls in a hot loop regrows without a capacity hint`
+	}
+	return ls
+}
+
+// Consume builds a capturing closure and queues a defer every iteration.
+//
+//xeonlint:hot
+func Consume(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		add := func() { total += v } // want `closure capturing outer variables in a hot loop`
+		add()
+		defer release(v) // want `defer in a hot loop grows the defer chain`
+	}
+	return total
+}
+
+func release(int) {}
+
+type payload struct{ a, b int }
+
+func sink(v any) { _ = v }
+
+// Box passes a concrete struct to an interface parameter per iteration.
+//
+//xeonlint:hot
+func Box(ps []payload) {
+	for _, p := range ps {
+		sink(p) // want `boxes an allocation per iteration`
+	}
+}
+
+type node struct{ id int }
+
+// NewNode returns the address of a fresh composite literal: one heap
+// allocation per call of a hot function, loop or not.
+//
+//xeonlint:hot
+func NewNode(id int) *node {
+	return &node{id: id} // want `escapes hot function`
+}
+
+// Render is hot and calls inner.Format from its loop — the
+// interprocedural case: Format's body becomes loop context and its
+// finding is reported over in the inner package. The append here is
+// preallocated, so it stays quiet.
+//
+//xeonlint:hot
+func Render(items []int) []string {
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, inner.Format(it))
+	}
+	return out
+}
+
+// coldConcat repeats Concat's patterns without hotness: no findings.
+func coldConcat(names []string) string {
+	out := ""
+	for _, n := range names {
+		out += n
+	}
+	return out
+}
+
+// coldLabels repeats Labels without hotness: no findings.
+func coldLabels(n int) []string {
+	ls := make([]string, 0)
+	for i := 0; i < n; i++ {
+		ls = append(ls, fmt.Sprintf("l%d", i))
+	}
+	return ls
+}
+
+// Reuse appends into a resliced pooled buffer inside a hot loop: the
+// capacity survives from the previous window, so no finding.
+//
+//xeonlint:hot
+func Reuse(buf []int, vals []int) []int {
+	xs := buf[:0]
+	for _, v := range vals {
+		xs = append(xs, v)
+	}
+	return xs
+}
+
+var (
+	_ = coldConcat
+	_ = coldLabels
+)

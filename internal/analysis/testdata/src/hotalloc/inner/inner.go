@@ -1,0 +1,10 @@
+// Package inner holds the interprocedural target: Format is hot only
+// because hotalloc.Render calls it from a hot loop.
+package inner
+
+import "fmt"
+
+// Format renders one item; its whole body is loop context.
+func Format(v int) string {
+	return fmt.Sprintf("item-%d", v) // want `fmt.Sprintf in a hot loop`
+}

@@ -1,0 +1,3 @@
+module hotcall
+
+go 1.22

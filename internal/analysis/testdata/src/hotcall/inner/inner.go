@@ -1,0 +1,50 @@
+// Package inner holds Classify: a branchy classifier far beyond the
+// inlining budget, with no profile or directive hotness of its own —
+// the target of hotcall's hot→cold advisory note.
+package inner
+
+// Classify buckets a value through an intentionally long decision chain.
+func Classify(v int) int {
+	switch {
+	case v < -90:
+		return v * 2
+	case v < -80:
+		return v * 3
+	case v < -70:
+		return v * 5
+	case v < -60:
+		return v * 7
+	case v < -50:
+		return v * 11
+	case v < -40:
+		return v * 13
+	case v < -30:
+		return v * 17
+	case v < -20:
+		return v * 19
+	case v < -10:
+		return v * 23
+	case v < 0:
+		return v * 29
+	case v < 10:
+		return v + 31
+	case v < 20:
+		return v + 37
+	case v < 30:
+		return v + 41
+	case v < 40:
+		return v + 43
+	case v < 50:
+		return v + 47
+	case v < 60:
+		return v + 53
+	case v < 70:
+		return v + 59
+	case v < 80:
+		return v + 61
+	case v < 90:
+		return v + 67
+	default:
+		return v + 71
+	}
+}

@@ -1,0 +1,3 @@
+module hotpgo
+
+go 1.22

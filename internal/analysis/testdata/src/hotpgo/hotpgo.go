@@ -1,0 +1,28 @@
+// Package hotpgo pairs with testdata/pgo/small.pgo: the profile names
+// Kernel (90% flat, plus a folded Kernel.func1 closure sample), helper
+// and Cold (0.5% flat each, below the default threshold), and a ghost
+// function that no longer exists in the source. The golden test pins the
+// resulting hot set: Kernel by profile share, helper by loop
+// propagation, Cold out, ghost unresolved.
+package hotpgo
+
+// Kernel is the profile's dominant function.
+func Kernel(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += helper(v)
+	}
+	return total
+}
+
+// helper is cold in the profile but runs per iteration of Kernel's loop.
+func helper(v int) int {
+	return v * v
+}
+
+// Cold has samples but stays under the flat-share threshold.
+func Cold(v int) int {
+	return v + 1
+}
+
+var _ = Cold

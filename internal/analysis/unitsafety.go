@@ -64,9 +64,11 @@ func (a *UnitSafety) Check(prog *Program, pkg *Package) []Diagnostic {
 				if i == 1 {
 					sibling = bin.X
 				}
-				diags = append(diags, Diagnostic{prog.Fset.Position(lit.Pos()), a.Name(),
-					fmt.Sprintf("magic conversion literal %s in arithmetic; name it through internal/units (units.GB, units.GHz, units.Mega, ...)", lit.Value),
-					a.rewriteFix(f, units, lit, sibling)})
+				diags = append(diags, Diagnostic{
+					Pos:      prog.Fset.Position(lit.Pos()),
+					Analyzer: a.Name(),
+					Message:  fmt.Sprintf("magic conversion literal %s in arithmetic; name it through internal/units (units.GB, units.GHz, units.Mega, ...)", lit.Value),
+					Fix:      a.rewriteFix(f, units, lit, sibling)})
 			}
 			return true
 		})
