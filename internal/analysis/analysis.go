@@ -46,7 +46,7 @@
 //   - hotalloc: no per-iteration heap allocations in profile-hot loops —
 //     string concat, fmt.Sprint*, capturing closures, interface boxing,
 //     defer-in-loop, capacity-less append (with -fix rewrites for the
-//     mechanical cases)
+//     cases where the rewrite provably preserves behavior)
 //   - hotcall: no avoidable per-iteration call overhead in hot loops —
 //     devirtualizable single-implementation interface calls, hoistable
 //     loop-invariant map lookups, channel ops; hot→cold calls into
@@ -118,6 +118,10 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
+	// ModulePath is the module path from go.mod, set by the loader; the
+	// PGO layer uses it to decide which profile frames belong to the
+	// module (see moduleProfileName).
+	ModulePath string
 
 	// PGO, when set before Run, attaches a decoded pprof profile (see
 	// pgo.go); the hotalloc/hotcall/benchparity analyzers derive their

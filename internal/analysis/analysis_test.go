@@ -150,6 +150,38 @@ func TestBenchParity(t *testing.T) {
 	checkFixture(t, "benchparity", []analysis.Analyzer{&analysis.BenchParity{}})
 }
 
+// TestHotAllocFixSafety pins which hotalloc findings carry a machine
+// fix: only trailing defers (deleting the keyword runs the call where
+// it was queued) and zero-length makes (adding a capacity cannot change
+// the length or produce cap < len). The fixture marks fix-carrying
+// lines with "(fix)" after the want comment; every other finding must
+// be report-only.
+func TestHotAllocFixSafety(t *testing.T) {
+	prog, root := loadFixture(t, "hotalloc")
+	diags := prog.Run([]analysis.Analyzer{&analysis.HotAlloc{}})
+	if len(diags) == 0 {
+		t.Fatal("hotalloc fixture produced no diagnostics")
+	}
+	lines := map[string][]string{}
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := lines[rel]; !ok {
+			src, err := os.ReadFile(d.Pos.Filename)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines[rel] = strings.Split(string(src), "\n")
+		}
+		wantFix := strings.Contains(lines[rel][d.Pos.Line-1], "(fix)")
+		if (d.Fix != nil) != wantFix {
+			t.Errorf("%s:%d: has fix = %v, want %v: %s", rel, d.Pos.Line, d.Fix != nil, wantFix, d.Message)
+		}
+	}
+}
+
 // TestParallelRunDeterministic pins the parallel driver's contract:
 // whatever the worker count, the merged, sorted diagnostics are
 // identical — per-package fan-out must not leak scheduling order into

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 )
@@ -22,10 +23,13 @@ import (
 //     strings.Builder)
 //   - fmt.Sprint/Sprintf/Sprintln/Errorf, which allocate their result
 //   - capturing closures, which allocate per iteration
-//   - defer, which grows the defer chain per iteration (with a -fix
-//     rewrite to a direct call at the defer site)
+//   - defer, which grows the defer chain per iteration (when the defer
+//     is the loop body's last statement, a -fix rewrite to a direct
+//     call; elsewhere report-only, since deleting the keyword would run
+//     the call before the statements that follow it)
 //   - append to a slice created without a capacity hint (with a -fix
-//     adding the capacity when the loop bound is derivable)
+//     adding the capacity when the slice was made with length 0 and the
+//     loop bound is derivable)
 //   - passing a concrete non-pointer value to an interface parameter,
 //     which boxes an allocation per iteration
 //
@@ -191,9 +195,18 @@ func (w *hotAllocWalker) walk(n ast.Node, loops []ast.Node) {
 			return true
 		case *ast.DeferStmt:
 			if w.inLoop(loops) {
-				fix := &SuggestedFix{
-					Message: "call directly at the defer site (defers run at function exit, not loop exit)",
-					Edits:   []TextEdit{{Pos: m.Pos(), End: m.Call.Pos()}},
+				// Deleting the defer keyword runs the call where it was
+				// queued, not at function exit — only equivalent to "end of
+				// the iteration" when no statements follow in the loop body.
+				// Anywhere else the rewrite would reorder effects (e.g. an
+				// unlock hoisted before its critical section), so the
+				// finding is report-only.
+				var fix *SuggestedFix
+				if trailingLoopDefer(m, loops) {
+					fix = &SuggestedFix{
+						Message: "call directly: as the loop body's last statement, the call runs at the same point the defer was queued",
+						Edits:   []TextEdit{{Pos: m.Pos(), End: m.Call.Pos()}},
+					}
 				}
 				what := callName(w.pkg.Info, m.Call)
 				if _, isLit := ast.Unparen(m.Call.Fun).(*ast.FuncLit); isLit {
@@ -220,6 +233,28 @@ func (w *hotAllocWalker) walk(n ast.Node, loops []ast.Node) {
 		}
 		return true
 	})
+}
+
+// trailingLoopDefer reports whether d is the final statement of the
+// innermost enclosing loop's body — the only defer shape where deleting
+// the keyword is a safe rewrite: the call runs at the exact program
+// point it would have been queued, so nothing in the iteration can be
+// reordered around it.
+func trailingLoopDefer(d *ast.DeferStmt, loops []ast.Node) bool {
+	if len(loops) == 0 {
+		return false
+	}
+	var body *ast.BlockStmt
+	switch loop := loops[len(loops)-1].(type) {
+	case *ast.ForStmt:
+		body = loop.Body
+	case *ast.RangeStmt:
+		body = loop.Body
+	}
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	return body.List[len(body.List)-1] == ast.Stmt(d)
 }
 
 // checkStringConcat flags `s += x` and `s = s + x` on strings.
@@ -288,9 +323,14 @@ func (w *hotAllocWalker) checkAppend(call *ast.CallExpr, loops []ast.Node) {
 	if !ok || decl.hasCap {
 		return
 	}
+	// The capacity fix only fires on the documented capacity-less shape,
+	// make([]T, 0): appending a capacity to a nonzero length would leave
+	// the n existing elements in front of the appends, fail to compile
+	// for a constant bound below the length, and panic (cap out of
+	// range) for a dynamic bound below it.
 	var fix *SuggestedFix
 	bound := ""
-	if decl.makeCall != nil && len(decl.makeCall.Args) == 2 {
+	if decl.makeCall != nil && len(decl.makeCall.Args) == 2 && isZeroConst(w.pkg.Info, decl.makeCall.Args[1]) {
 		if bound = loopBound(w.pkg.Info, loops); bound != "" {
 			fix = &SuggestedFix{
 				Message: "preallocate: the loop bound is " + bound,
@@ -348,6 +388,16 @@ func loopBound(info *types.Info, loops []ast.Node) string {
 		}
 	}
 	return ""
+}
+
+// isZeroConst reports whether e is a compile-time integer constant 0.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && v == 0
 }
 
 // pureBoundExpr accepts the expressions safe to duplicate into a make

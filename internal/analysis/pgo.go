@@ -568,11 +568,10 @@ func (f *Facts) hotFor() *hotFacts {
 			names = append(names, name)
 		}
 		sort.Strings(names)
-		modulePrefix := p.modulePathPrefix()
 		for _, name := range names {
 			fn, ok := byName[stripClosureSuffix(name)]
 			if !ok {
-				if modulePrefix != "" && strings.HasPrefix(name, modulePrefix) {
+				if p.moduleProfileName(name) {
 					hf.unresolved = append(hf.unresolved, name)
 				}
 				continue
@@ -720,17 +719,18 @@ func (p *Program) UnresolvedHotNames() []string {
 	return p.Facts().hotFor().unresolved
 }
 
-// modulePathPrefix returns "<modulepath>/" for filtering profile names,
-// derived from any loaded package's import path.
-func (p *Program) modulePathPrefix() string {
-	for _, pkg := range p.Packages {
-		path := pkg.Path
-		if i := strings.Index(path, "/"); i > 0 {
-			return path[:i+1]
-		}
-		return path + "."
+// moduleProfileName reports whether a pprof function name belongs to the
+// loaded module: "<modulepath>.Func" for the root package, or
+// "<modulepath>/sub/pkg.Func" for any subpackage. The module path comes
+// from go.mod via the loader, so a host-rooted path like
+// github.com/org/repo never claims unrelated dependencies' frames that
+// merely share the host segment.
+func (p *Program) moduleProfileName(name string) bool {
+	mp := p.ModulePath
+	if mp == "" {
+		return false
 	}
-	return ""
+	return strings.HasPrefix(name, mp+".") || strings.HasPrefix(name, mp+"/")
 }
 
 // pprofName renders a declared function the way pprof spells it:

@@ -1,6 +1,7 @@
-// Fixable hotalloc findings: a defer queued per hot-loop iteration (the
-// fix calls directly at the site) and an append into a capacity-less
-// make with a derivable bound (the fix adds the capacity).
+// Fixable hotalloc findings: a defer queued per hot-loop iteration as
+// the loop body's last statement (the fix deletes the keyword, running
+// the call where it was queued) and an append into a zero-length make
+// with a derivable bound (the fix adds the capacity).
 package fixable
 
 // hotLoop is hot by directive; BenchmarkHotLoop keeps benchparity quiet.
@@ -9,8 +10,8 @@ package fixable
 func hotLoop(n int) []int {
 	xs := make([]int, 0)
 	for i := 0; i < n; i++ {
-		defer noteDone(i)
 		xs = append(xs, i)
+		defer noteDone(i)
 	}
 	return xs
 }

@@ -32,12 +32,14 @@ func Labels(n int) []string {
 	ls := make([]string, 0)
 	for i := 0; i < n; i++ {
 		l := fmt.Sprintf("l%d", i) // want `fmt.Sprintf in a hot loop`
-		ls = append(ls, l)         // want `append to ls in a hot loop regrows without a capacity hint`
+		ls = append(ls, l)         // want `append to ls in a hot loop regrows without a capacity hint` (fix)
 	}
 	return ls
 }
 
 // Consume builds a capturing closure and queues a defer every iteration.
+// The defer is the loop body's last statement, so its finding carries the
+// delete-the-keyword fix.
 //
 //xeonlint:hot
 func Consume(vals []int) int {
@@ -45,9 +47,36 @@ func Consume(vals []int) int {
 	for _, v := range vals {
 		add := func() { total += v } // want `closure capturing outer variables in a hot loop`
 		add()
-		defer release(v) // want `defer in a hot loop grows the defer chain`
+		defer release(v) // want `defer in a hot loop grows the defer chain` (fix)
 	}
 	return total
+}
+
+// DeferMid queues a defer with statements after it in the loop body:
+// still a per-iteration defer-chain leak, but report-only — deleting the
+// keyword would run release before the accumulation that follows it.
+//
+//xeonlint:hot
+func DeferMid(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		defer release(v) // want `defer in a hot loop grows the defer chain`
+		total += v
+	}
+	return total
+}
+
+// SizedAppend appends to a slice made with a nonzero length: flagged,
+// but no capacity fix — the appends land after the eight existing
+// elements, so a loop-bound capacity could be below the length.
+//
+//xeonlint:hot
+func SizedAppend(n int) []int {
+	xs := make([]int, 8)
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // want `append to xs in a hot loop regrows without a capacity hint`
+	}
+	return xs
 }
 
 func release(int) {}
