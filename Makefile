@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-conc bench bench-cache bench-snapshot check ci check-golden update-golden figures figures-cached lmbench ablations profile fmt vet lint lint-conc lint-hot lint-fix lint-fix-clean pgo-fresh server-smoke clean
+.PHONY: build test test-short race race-conc bench bench-cache bench-snapshot check ci check-golden update-golden figures figures-cached lmbench ablations profile fmt vet lint lint-conc lint-hot lint-fix lint-fix-clean pgo-fresh server-smoke shard-smoke clean
 
 build:
 	$(GO) build ./...
@@ -137,6 +137,13 @@ bench-snapshot:
 # counter covered every cell. Mirrors the server-smoke CI job.
 server-smoke:
 	GOLDEN_SCALE=$(GOLDEN_SCALE) bash scripts/server-smoke.sh
+
+# End-to-end smoke gate for sharded execution: two worker daemons plus a
+# sharding frontend serve the golden-scale study byte-identically, both
+# workers receive cells, and a mid-study worker kill fails over to the
+# survivor. Mirrors the shard-smoke CI job.
+shard-smoke:
+	GOLDEN_SCALE=$(GOLDEN_SCALE) bash scripts/shard-smoke.sh
 
 # Regenerate every table and figure at full scale (~25 minutes cold; a
 # warm rerun against the same cache directory is mostly lookups).

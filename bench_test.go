@@ -11,6 +11,7 @@ package xeonomp
 // same experiments at full scale.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -44,6 +45,32 @@ func benchOptions(scale float64) core.Options {
 	return o
 }
 
+// runSingleStudy / runPairStudy / runCrossStudy run a fresh study to
+// completion — the run-and-return shorthand the figure/table benches use.
+func runSingleStudy(opt core.Options) (*core.SingleStudy, error) {
+	s := core.NewSingleStudy()
+	if err := s.Run(context.Background(), opt); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func runPairStudy(opt core.Options) (*core.PairStudy, error) {
+	s := core.NewPairStudy()
+	if err := s.Run(context.Background(), opt); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func runCrossStudy(opt core.Options) (*core.CrossStudy, error) {
+	s := core.NewCrossStudy()
+	if err := s.Run(context.Background(), opt); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // BenchmarkStudyCacheCold runs the single-program study with an empty
 // run cache each iteration — the price of simulating every cell. Compare
 // with BenchmarkStudyCacheWarm (make bench-cache runs both).
@@ -55,7 +82,7 @@ func BenchmarkStudyCacheCold(b *testing.B) {
 			b.Fatal(err)
 		}
 		opt.Cache = cache
-		if _, err := core.RunSingleStudy(opt); err != nil {
+		if _, err := runSingleStudy(opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,12 +97,12 @@ func BenchmarkStudyCacheWarm(b *testing.B) {
 		b.Fatal(err)
 	}
 	opt.Cache = cache
-	if _, err := core.RunSingleStudy(opt); err != nil {
+	if _, err := runSingleStudy(opt); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunSingleStudy(opt); err != nil {
+		if _, err := runSingleStudy(opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -124,7 +151,7 @@ func BenchmarkTable1Configurations(b *testing.B) {
 func BenchmarkFigure2CounterPanels(b *testing.B) {
 	opt := benchOptions(0.1)
 	for i := 0; i < b.N; i++ {
-		study, err := core.RunSingleStudy(opt)
+		study, err := runSingleStudy(opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,7 +171,7 @@ func BenchmarkFigure2CounterPanels(b *testing.B) {
 func BenchmarkFigure3Speedups(b *testing.B) {
 	opt := benchOptions(0.1)
 	for i := 0; i < b.N; i++ {
-		study, err := core.RunSingleStudy(opt)
+		study, err := runSingleStudy(opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +190,7 @@ func BenchmarkFigure3Speedups(b *testing.B) {
 func BenchmarkTable2AverageSpeedups(b *testing.B) {
 	opt := benchOptions(0.1)
 	for i := 0; i < b.N; i++ {
-		study, err := core.RunSingleStudy(opt)
+		study, err := runSingleStudy(opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +209,7 @@ func BenchmarkTable2AverageSpeedups(b *testing.B) {
 func BenchmarkFigure4MultiProgram(b *testing.B) {
 	opt := benchOptions(0.08)
 	for i := 0; i < b.N; i++ {
-		study, err := core.RunPairStudy(opt)
+		study, err := runPairStudy(opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -203,7 +230,7 @@ func BenchmarkFigure4MultiProgram(b *testing.B) {
 func BenchmarkFigure5CrossProduct(b *testing.B) {
 	opt := benchOptions(0.04)
 	for i := 0; i < b.N; i++ {
-		study, err := core.RunCrossStudy(opt)
+		study, err := runCrossStudy(opt)
 		if err != nil {
 			b.Fatal(err)
 		}

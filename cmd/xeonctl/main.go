@@ -1,35 +1,42 @@
 // Command xeonctl is the client for cmd/xeond, the experiment daemon.
-// It submits studies and cells over HTTP+JSON, follows the progress
-// stream, and downloads finished artifacts — which are byte-identical to
-// a local `xeonchar -export-json` run, so `xeonctl study -out dir` plus
-// `diff -r dir testdata/golden` is the whole remote-equivalence check
-// (and exactly what the server-smoke CI job does).
+// It is a thin CLI over api.Client (internal/api): it submits studies
+// and cells over HTTP+JSON, follows the progress stream (reconnecting
+// with seq-gap detection), and downloads finished artifacts — which are
+// byte-identical to a local `xeonchar -export-json` run, so
+// `xeonctl study -out dir` plus `diff -r dir testdata/golden` is the
+// whole remote-equivalence check (and exactly what the server-smoke and
+// shard-smoke CI jobs do).
 //
 //	xeonctl -server http://127.0.0.1:7788 study -name single -scale 0.1 -out out/
 //	xeonctl -server http://127.0.0.1:7788 cell -benchmarks CG,FT -config 2P-2C-SMT
 //	xeonctl -server http://127.0.0.1:7788 status job-1
 //	xeonctl -server http://127.0.0.1:7788 cancel job-1
+//	xeonctl -server http://127.0.0.1:7788 list
 //	xeonctl -server http://127.0.0.1:7788 metrics
+//
+// Ctrl-C cancels the in-flight request or stream cleanly; a canceled
+// study keeps its journal tail on the daemon, so resubmitting the same
+// request resumes instead of recomputing.
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
-	"xeonomp/internal/server"
+	"xeonomp/internal/api"
 )
 
 func main() {
 	serverURL := flag.String("server", "http://127.0.0.1:7788", "base URL of the xeond daemon")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: xeonctl [-server URL] <study|cell|status|cancel|metrics> [args]")
+		fmt.Fprintln(os.Stderr, "usage: xeonctl [-server URL] <study|cell|status|cancel|list|metrics> [args]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,19 +45,23 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*serverURL, "/")}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := api.NewClient(*serverURL)
 	var err error
 	switch args[0] {
 	case "study":
-		err = c.study(args[1:])
+		err = study(ctx, c, args[1:])
 	case "cell":
-		err = c.cell(args[1:])
+		err = cell(ctx, c, args[1:])
 	case "status":
-		err = c.status(args[1:])
+		err = status(ctx, c, args[1:])
 	case "cancel":
-		err = c.cancel(args[1:])
+		err = cancel(ctx, c, args[1:])
+	case "list":
+		err = list(ctx, c)
 	case "metrics":
-		err = c.metrics()
+		err = metrics(ctx, c)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -61,50 +72,9 @@ func main() {
 	}
 }
 
-type client struct{ base string }
-
-// doJSON performs one request and decodes the JSON response into out,
-// turning non-2xx responses into errors carrying the server's message.
-func (c *client) doJSON(method, path string, body, out any) error {
-	var rd io.Reader
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(b)
-	}
-	req, err := http.NewRequest(method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		// Best-effort drain; the response is already consumed or failed.
-		_ = resp.Body.Close()
-	}()
-	if resp.StatusCode/100 != 2 {
-		var e server.ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s (%s)", method, path, e.Error, resp.Status)
-		}
-		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
-}
-
 // study submits a study, optionally follows it to completion, and
 // optionally downloads its artifacts.
-func (c *client) study(args []string) error {
+func study(ctx context.Context, c *api.Client, args []string) error {
 	fs := flag.NewFlagSet("study", flag.ExitOnError)
 	name := fs.String("name", "single", "study to run: single, pair or cross")
 	scale := fs.Float64("scale", 0, "workload scale (0: server default 1.0)")
@@ -116,87 +86,53 @@ func (c *client) study(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var st server.StudyStatus
-	req := server.StudyRequest{Study: *name, Scale: *scale, Seed: *seed, Policy: *policy}
-	if err := c.doJSON(http.MethodPost, "/api/v1/study", req, &st); err != nil {
+	req := api.StudyRequest{Study: *name, Scale: *scale, Seed: *seed, Policy: *policy}
+	st, err := c.SubmitStudy(ctx, req)
+	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "xeonctl: submitted %s as %s (%d cells)\n", st.Study, st.ID, st.Cells)
 	if !*wait && *out == "" {
 		return printJSON(st)
 	}
-	if err := c.follow(st.ID, *quiet); err != nil {
+	if _, err := c.Follow(ctx, st.ID, func(e api.Event) error {
+		if *quiet || e.Terminal() {
+			return nil
+		}
+		tag := ""
+		if e.Cached {
+			tag = " (cached)"
+		}
+		fmt.Fprintf(os.Stderr, "xeonctl: [%d/%d] %s%s\n", e.Done, e.Total, e.Cell, tag)
+		return nil
+	}); err != nil {
 		return err
 	}
-	if err := c.doJSON(http.MethodGet, "/api/v1/study/"+st.ID, nil, &st); err != nil {
+	if st, err = c.Study(ctx, st.ID); err != nil {
 		return err
 	}
-	if st.State != server.StateDone {
+	if st.State != api.StateDone {
 		// Print the terminal status before failing so scripts see why.
 		_ = printJSON(st)
 		return fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
 	}
 	if *out != "" {
-		if err := c.download(st, *out); err != nil {
+		if err := download(ctx, c, st, *out); err != nil {
 			return err
 		}
 	}
 	return printJSON(st)
 }
 
-// follow streams /progress/{id} until the job reaches a terminal state.
-func (c *client) follow(id string, quiet bool) error {
-	resp, err := http.Get(c.base + "/progress/" + id)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		// The stream ended or errored; nothing left to read either way.
-		_ = resp.Body.Close()
-	}()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("progress %s: %s", id, resp.Status)
-	}
-	dec := json.NewDecoder(resp.Body)
-	for {
-		var e server.Event
-		if err := dec.Decode(&e); err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return err
-		}
-		if e.State != "" {
-			return nil
-		}
-		if !quiet {
-			tag := ""
-			if e.Cached {
-				tag = " (cached)"
-			}
-			fmt.Fprintf(os.Stderr, "xeonctl: [%d/%d] %s%s\n", e.Done, e.Total, e.Cell, tag)
-		}
-	}
-}
-
 // download writes every artifact of a done job into dir, verbatim.
-func (c *client) download(st server.StudyStatus, dir string) error {
+func download(ctx context.Context, c *api.Client, st api.StudyStatus, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	for _, name := range st.Artifacts {
-		resp, err := http.Get(c.base + "/api/v1/study/" + st.ID + "/artifacts/" + name)
+		b, err := c.Artifact(ctx, st.ID, name)
 		if err != nil {
 			return err
-		}
-		b, err := io.ReadAll(resp.Body)
-		// Fully read above; close cannot add information.
-		_ = resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("artifact %s: %s", name, resp.Status)
 		}
 		path := filepath.Join(dir, name+".json")
 		if err := os.WriteFile(path, b, 0o644); err != nil {
@@ -208,7 +144,7 @@ func (c *client) download(st server.StudyStatus, dir string) error {
 }
 
 // cell runs one simulation cell synchronously and prints the response.
-func (c *client) cell(args []string) error {
+func cell(ctx context.Context, c *api.Client, args []string) error {
 	fs := flag.NewFlagSet("cell", flag.ExitOnError)
 	benchmarks := fs.String("benchmarks", "", "comma-separated program names (1 or 2, e.g. CG or CG,FT)")
 	cfg := fs.String("config", "", "Table-1 configuration name")
@@ -218,55 +154,57 @@ func (c *client) cell(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	req := server.CellRequest{Config: *cfg, Scale: *scale, Seed: *seed, Policy: *policy}
+	req := api.CellRequest{Config: *cfg, Scale: *scale, Seed: *seed, Policy: *policy}
 	for _, b := range strings.Split(*benchmarks, ",") {
 		if b = strings.TrimSpace(b); b != "" {
 			req.Benchmarks = append(req.Benchmarks, b)
 		}
 	}
-	var resp server.CellResponse
-	if err := c.doJSON(http.MethodPost, "/api/v1/cell", req, &resp); err != nil {
+	resp, err := c.RunCell(ctx, req)
+	if err != nil {
 		return err
 	}
 	return printJSON(resp)
 }
 
-func (c *client) status(args []string) error {
+func status(ctx context.Context, c *api.Client, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: xeonctl status <job-id>")
 	}
-	var st server.StudyStatus
-	if err := c.doJSON(http.MethodGet, "/api/v1/study/"+args[0], nil, &st); err != nil {
-		return err
-	}
-	return printJSON(st)
-}
-
-func (c *client) cancel(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: xeonctl cancel <job-id>")
-	}
-	var st server.StudyStatus
-	if err := c.doJSON(http.MethodDelete, "/api/v1/study/"+args[0], nil, &st); err != nil {
-		return err
-	}
-	return printJSON(st)
-}
-
-// metrics dumps the daemon's /metrics snapshot to stdout.
-func (c *client) metrics() error {
-	resp, err := http.Get(c.base + "/metrics")
+	st, err := c.Study(ctx, args[0])
 	if err != nil {
 		return err
 	}
-	defer func() {
-		// Fully copied below; close cannot add information.
-		_ = resp.Body.Close()
-	}()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("metrics: %s", resp.Status)
+	return printJSON(st)
+}
+
+func cancel(ctx context.Context, c *api.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: xeonctl cancel <job-id>")
 	}
-	_, err = io.Copy(os.Stdout, resp.Body)
+	st, err := c.CancelStudy(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+// list prints every job the daemon knows, in submission order.
+func list(ctx context.Context, c *api.Client) error {
+	sts, err := c.Studies(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(sts)
+}
+
+// metrics dumps the daemon's /metrics snapshot to stdout.
+func metrics(ctx context.Context, c *api.Client) error {
+	b, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(b)
 	return err
 }
 

@@ -29,6 +29,17 @@
 // studies are canceled between cells and their journals keep the
 // completed tail, so resubmitting the same request after a restart
 // resumes instead of recomputing.
+//
+// With -shard, the daemon becomes a frontend that executes no cells
+// itself: each cell is routed to one of the given worker daemons by its
+// runcache content address (cache affinity), with bounded in-flight
+// cells per worker and failover to the next healthy worker when one
+// drops (internal/shard). The frontend keeps its own cache and journals
+// over the sharded backend, so resume and warm reruns work exactly as
+// in single-daemon mode, and artifacts stay byte-identical:
+//
+//	xeond -addr :7701 & xeond -addr :7702 &          # workers
+//	xeond -addr :7788 -shard http://127.0.0.1:7701,http://127.0.0.1:7702
 package main
 
 import (
@@ -39,37 +50,73 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"xeonomp/internal/api"
+	"xeonomp/internal/core"
 	"xeonomp/internal/runcache"
 	"xeonomp/internal/server"
+	"xeonomp/internal/shard"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7788", "listen address (use :0 for an ephemeral port)")
-		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file once serving")
-		cacheDir   = flag.String("cache-dir", "", "persistent run-cache directory (empty: in-memory cache only)")
-		journalDir = flag.String("journal-dir", "", "per-study journal directory (empty: no journals, no resume)")
-		workers    = flag.Int("workers", 0, "simulation concurrency across all requests (0: GOMAXPROCS)")
-		maxCells   = flag.Int("max-cells", 0, "per-request cell budget; larger studies get 429 (0: 256)")
-		maxStudies = flag.Int("max-studies", 0, "concurrent study jobs; excess submissions get 429 (0: 4)")
-		maxScale   = flag.Float64("max-scale", 0, "largest accepted per-request scale (0: 1.0)")
+		addr        = flag.String("addr", "127.0.0.1:7788", "listen address (use :0 for an ephemeral port)")
+		addrFile    = flag.String("addr-file", "", "write the bound listen address to this file once serving")
+		cacheDir    = flag.String("cache-dir", "", "persistent run-cache directory (empty: in-memory cache only)")
+		journalDir  = flag.String("journal-dir", "", "per-study journal directory (empty: no journals, no resume)")
+		workers     = flag.Int("workers", 0, "simulation concurrency across all requests (0: GOMAXPROCS)")
+		maxCells    = flag.Int("max-cells", 0, "per-request cell budget; larger studies get 429 (0: 256)")
+		maxStudies  = flag.Int("max-studies", 0, "concurrent study jobs; excess submissions get 429 (0: 4)")
+		maxScale    = flag.Float64("max-scale", 0, "largest accepted per-request scale (0: 1.0)")
+		shards      = flag.String("shard", "", "comma-separated worker xeond base URLs; run as a sharding frontend instead of simulating locally")
+		shardFlight = flag.Int("shard-inflight", 0, "in-flight cells per worker in -shard mode (0: 4)")
 	)
 	flag.Parse()
-	if err := run(*addr, *addrFile, *cacheDir, *journalDir, *workers, *maxCells, *maxStudies, *maxScale); err != nil {
+	if err := run(*addr, *addrFile, *cacheDir, *journalDir, *shards, *workers, *maxCells, *maxStudies, *shardFlight, *maxScale); err != nil {
 		fmt.Fprintln(os.Stderr, "xeond:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile, cacheDir, journalDir string, workers, maxCells, maxStudies int, maxScale float64) error {
+// shardBackend builds the frontend execution path for -shard: cells go
+// to remote workers with cache affinity and failover, and the frontend's
+// own cache/journal tier is layered over it (core.Cached) so resume and
+// warm reruns never leave this daemon. The server adds Dedupe and Gate
+// on top, completing Dedupe(Gate(Cached(Shard))).
+func shardBackend(list string, inflight int) (core.Backend, error) {
+	var remotes []*shard.Remote
+	for _, u := range strings.Split(list, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			remotes = append(remotes, shard.NewRemote(api.NewClient(u)))
+		}
+	}
+	var opts []shard.Option
+	if inflight > 0 {
+		opts = append(opts, shard.WithInflight(inflight))
+	}
+	s, err := shard.New(remotes, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return core.Cached(s), nil
+}
+
+func run(addr, addrFile, cacheDir, journalDir, shards string, workers, maxCells, maxStudies, shardFlight int, maxScale float64) error {
 	cache, err := runcache.New(0, cacheDir)
 	if err != nil {
 		return err
 	}
+	var backend core.Backend
+	if shards != "" {
+		if backend, err = shardBackend(shards, shardFlight); err != nil {
+			return err
+		}
+	}
 	srv := server.New(server.Config{
+		Backend:              backend,
 		Cache:                cache,
 		JournalDir:           journalDir,
 		Workers:              workers,

@@ -5,7 +5,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // This file is the concurrency substrate shared by the ctxflow, goleak,
@@ -303,6 +302,11 @@ func isHTTPRoundTrip(fn *types.Func) bool {
 	if fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
 		return false
 	}
+	// Only the package-level convenience functions are round-trips;
+	// methods that share their names (http.Header.Get) are plain lookups.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
 	switch fn.Name() {
 	case "Get", "Post", "Head", "PostForm":
 		return true
@@ -545,20 +549,6 @@ func callsAfterFunc(info *types.Info, body *ast.BlockStmt) bool {
 		return !found
 	})
 	return found
-}
-
-// isDeprecated reports whether a declaration's doc comment carries the
-// conventional "Deprecated:" marker.
-func isDeprecated(decl *ast.FuncDecl) bool {
-	if decl == nil || decl.Doc == nil {
-		return false
-	}
-	for _, c := range decl.Doc.List {
-		if strings.Contains(c.Text, "Deprecated:") {
-			return true
-		}
-	}
-	return false
 }
 
 // sortedLockVars orders lock vars deterministically by display name then

@@ -15,8 +15,8 @@ import (
 // or Ctrl-C and client disconnects strand goroutines mid-cell. Four rules:
 //
 //   - no fresh roots: context.Background()/TODO() outside package main,
-//     tests, Deprecated compat shims, and single-statement wrappers is a
-//     finding (with a -fix replacing it when a ctx parameter is in scope)
+//     tests, and single-statement wrappers is a finding (with a -fix
+//     replacing it when a ctx parameter is in scope)
 //   - no dropped ctx at the frontier: a function holding a ctx parameter
 //     must not call a module function that may block but accepts no
 //     context — the interprocedural "ctx stops here" bug
@@ -65,7 +65,7 @@ func (a *CtxFlow) checkBody(prog *Program, pkg *Package, cf *concFacts, b Body) 
 	}
 
 	// Fresh-root rule, independent of whether a ctx is in scope.
-	if pkg.Name != "main" && !inTest && !isDeprecated(decl) {
+	if pkg.Name != "main" && !inTest {
 		ast.Inspect(b.Block, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {

@@ -39,11 +39,13 @@ func (*NDTaint) Doc() string {
 // wallClockAllowlist names the packages (by path suffix) allowed to read
 // the wall clock: the progress/ETA reporter, which exists to report real
 // elapsed time, the functional NAS harness, which times real computation,
-// and the observability layer, which is the single clock-reading choke
+// the observability layer, which is the single clock-reading choke
 // point the rest of the tree instruments through (obs.StartTimer/Span) —
 // its values flow into the metric registry and tracer, never into
-// artifacts. Everything else in the tree is simulation or export code,
-// where wall-clock reads are nondeterminism leaking into results.
+// artifacts — and the wire layer (internal/api, internal/shard), whose
+// timers pace retries and reconnects without touching payloads.
+// Everything else in the tree is simulation or export code, where
+// wall-clock reads are nondeterminism leaking into results.
 //
 // The allowlist is also a taint *boundary* for the interprocedural
 // solver, but only for opaque handles: clock taint originating inside an
@@ -59,6 +61,12 @@ var wallClockAllowlist = []string{
 	"internal/journal",
 	"internal/obs",
 	"cmd/nasrun",
+	// The wire layer: reconnect backoff, 429 retry pacing, and failover
+	// probing are real-time concerns by nature. Nothing these packages
+	// compute from the clock reaches results — backends cannot affect
+	// artifact bytes (the golden equivalence tests pin that).
+	"internal/api",
+	"internal/shard",
 }
 
 func allowlisted(pkg *Package) bool {

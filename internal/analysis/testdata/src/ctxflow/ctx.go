@@ -32,9 +32,10 @@ func Run() error {
 	return run(context.Background())
 }
 
-// Deprecated: use Run.
+// Deprecated: use Run. The Deprecated marker buys no exemption — only
+// the single-statement wrapper shape above does.
 func OldRun() error {
-	err := run(context.Background())
+	err := run(context.Background()) // want `context.Background() starts a fresh context root`
 	return err
 }
 

@@ -1,0 +1,226 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// eventServer streams canned NDJSON progress events, one script entry
+// per connection (connection n gets script[min(n, len-1)]).
+type eventServer struct {
+	conns  atomic.Int64
+	script [][]Event
+}
+
+func (s *eventServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(s.conns.Add(1)) - 1
+	if n >= len(s.script) {
+		n = len(s.script) - 1
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, e := range s.script[n] {
+		// Encode failures surface as a truncated stream client-side.
+		_ = enc.Encode(e)
+	}
+}
+
+func cellEvent(seq int) Event {
+	return Event{Seq: seq, Cell: fmt.Sprintf("cell-%d", seq), Done: seq, Total: 4}
+}
+
+func TestProgressSeqGapDetected(t *testing.T) {
+	srv := &eventServer{script: [][]Event{{cellEvent(1), cellEvent(2), cellEvent(4)}}}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	stream, err := NewClient(ts.URL).Progress(context.Background(), "job-1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// The stream is drained or broken by the assertions above.
+		_ = stream.Close()
+	}()
+	for want := 1; want <= 2; want++ {
+		e, err := stream.Next()
+		if err != nil || e.Seq != want {
+			t.Fatalf("event %d: (%+v, %v)", want, e, err)
+		}
+	}
+	if _, err := stream.Next(); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("after a dropped event: error %v, want ErrSeqGap", err)
+	}
+}
+
+func TestProgressSkipsReplayedPrefix(t *testing.T) {
+	srv := &eventServer{script: [][]Event{{cellEvent(1), cellEvent(2), cellEvent(3), {Seq: 4, State: StateDone, Done: 4, Total: 4}}}}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	stream, err := NewClient(ts.URL).Progress(context.Background(), "job-1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// Drained to EOF below.
+		_ = stream.Close()
+	}()
+	e, err := stream.Next()
+	if err != nil || e.Seq != 3 {
+		t.Fatalf("first unseen event: (%+v, %v), want seq 3", e, err)
+	}
+	e, err = stream.Next()
+	if err != nil || !e.Terminal() {
+		t.Fatalf("terminal event: (%+v, %v)", e, err)
+	}
+	if _, err := stream.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after the server closed: %v, want io.EOF", err)
+	}
+}
+
+// TestFollowReconnects drops the connection mid-history and verifies
+// Follow resumes from the last delivered Seq: every event exactly once,
+// in order, ending with the terminal event.
+func TestFollowReconnects(t *testing.T) {
+	full := []Event{cellEvent(1), cellEvent(2), cellEvent(3), {Seq: 4, State: StateDone, Done: 4, Total: 4}}
+	srv := &eventServer{script: [][]Event{
+		full[:2], // first connection dies after seq 2
+		full,     // reconnection replays the whole history
+	}}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var got []int
+	last, err := NewClient(ts.URL).Follow(context.Background(), "job-1", func(e Event) error {
+		got = append(got, e.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.State != StateDone {
+		t.Errorf("terminal event %+v, want state %s", last, StateDone)
+	}
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("delivered seqs %v, want %v (no duplicates, no gaps)", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered seqs %v, want %v", got, want)
+		}
+	}
+	if c := srv.conns.Load(); c != 2 {
+		t.Errorf("server saw %d connections, want 2", c)
+	}
+}
+
+func TestFollowAbortsOnSeqGap(t *testing.T) {
+	srv := &eventServer{script: [][]Event{{cellEvent(1), cellEvent(3)}}}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	_, err := NewClient(ts.URL).Follow(context.Background(), "job-1", nil)
+	if !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("error %v, want ErrSeqGap", err)
+	}
+	if c := srv.conns.Load(); c != 1 {
+		t.Errorf("Follow reconnected %d times after a seq gap; a gap must abort", c-1)
+	}
+}
+
+func TestFollowGivesUpAfterRepeatedFailures(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // nothing listens: every connection is a transport error
+	start := time.Now()
+	_, err := NewClient(ts.URL).Follow(context.Background(), "job-1", nil)
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("error %v, want ErrTransport after exhausting reconnects", err)
+	}
+	// Backoff is 200ms * (1+2+4+8+16) ≈ 6.2s worst case; just assert it
+	// did not spin forever and did wait at least the first backoff.
+	if d := time.Since(start); d < reconnectDelay {
+		t.Errorf("gave up after %v, faster than one backoff period", d)
+	}
+}
+
+// TestErrorMapping pins the typed-error contract of non-2xx responses:
+// structured codes map to sentinels, Retry-After is surfaced, and
+// status-only responses (servers predating codes) still map.
+func TestErrorMapping(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/study", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+		// Test fixture; an encode failure fails the assertions below.
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "8 cells over budget", Code: CodeOverBudget})
+	})
+	mux.HandleFunc("/api/v1/study/legacy", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such job", http.StatusNotFound) // plain text, no code
+	})
+	mux.HandleFunc("/api/v1/study/gone/artifacts/figure2", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		_ = json.NewEncoder(w).Encode(ErrorResponse{Error: "job is canceled", Code: CodeConflict})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	_, err := c.SubmitStudy(ctx, StudyRequest{Study: "single"})
+	if !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("429 mapped to %v, want ErrOverBudget", err)
+	}
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not a *Error", err)
+	}
+	if apiErr.RetryAfter != 2*time.Second {
+		t.Errorf("RetryAfter %v, want 2s", apiErr.RetryAfter)
+	}
+	if apiErr.Code != CodeOverBudget || apiErr.Status != http.StatusTooManyRequests {
+		t.Errorf("error carries code=%q status=%d", apiErr.Code, apiErr.Status)
+	}
+	if errors.Is(err, ErrBadRequest) || errors.Is(err, ErrTransport) {
+		t.Error("over-budget error matched unrelated sentinels")
+	}
+
+	if _, err := c.Study(ctx, "legacy"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("code-less 404 mapped to %v, want ErrNotFound via the status fallback", err)
+	}
+	if _, err := c.Artifact(ctx, "gone", "figure2"); !errors.Is(err, ErrConflict) {
+		t.Errorf("409 mapped to %v, want ErrConflict", err)
+	}
+
+	ts.Close()
+	if _, err := c.Studies(ctx); !errors.Is(err, ErrTransport) {
+		t.Errorf("connection refused mapped to %v, want ErrTransport", err)
+	}
+}
+
+// TestClientHonorsContext: a canceled context surfaces as its own error
+// through the ErrTransport chain, so callers can tell "I gave up" from
+// "the worker died".
+func TestClientHonorsContext(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewClient(ts.URL).Study(ctx, "job-1")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled to remain matchable", err)
+	}
+}

@@ -1,0 +1,112 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Structured error codes carried in ErrorResponse.Code. The code — not
+// the HTTP status and not the message text — is the stable contract:
+// Client maps each onto the matching sentinel error below.
+const (
+	// CodeBadRequest: the request is malformed or names something the
+	// server does not have (unknown study, benchmark, config, policy, or
+	// an out-of-range scale). Retrying cannot help.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: no such job or artifact.
+	CodeNotFound = "not_found"
+	// CodeOverBudget: admission control rejected the request (cell
+	// budget, study concurrency). Sent with 429 and a Retry-After header;
+	// retrying after the hinted delay is the intended reaction.
+	CodeOverBudget = "over_budget"
+	// CodeConflict: the resource exists but is in the wrong state (for
+	// example, artifacts requested from a job that is not done yet).
+	CodeConflict = "conflict"
+	// CodeInternal: the server failed; the message says how.
+	CodeInternal = "internal"
+)
+
+// Sentinel errors surfaced by Client. Every error returned for a non-2xx
+// response is a *Error that errors.Is-matches exactly one of the first
+// five; transport-level failures (connection refused, reset, timeout)
+// match ErrTransport instead — the signal the shard layer fails over on.
+var (
+	ErrBadRequest = errors.New("api: bad request")
+	ErrNotFound   = errors.New("api: not found")
+	ErrOverBudget = errors.New("api: over budget")
+	ErrConflict   = errors.New("api: conflict")
+	ErrInternal   = errors.New("api: internal server error")
+	// ErrTransport marks errors where no HTTP response arrived: the
+	// request may or may not have executed. Cells are idempotent
+	// (content-addressed, deterministic), so retrying elsewhere is safe.
+	ErrTransport = errors.New("api: transport error")
+	// ErrSeqGap marks a progress stream whose event sequence numbers
+	// were not dense — events were lost, and the client's done/total
+	// view can no longer be trusted without a reconnect from scratch.
+	ErrSeqGap = errors.New("api: progress sequence gap")
+)
+
+// Error is the typed form of a non-2xx response. It satisfies errors.Is
+// against the sentinel that matches its Code (falling back to the HTTP
+// status for responses from servers predating structured codes).
+type Error struct {
+	// Status is the HTTP status code of the response.
+	Status int
+	// Code is the structured ErrorResponse.Code, "" if the server sent
+	// none.
+	Code string
+	// Message is the human-readable ErrorResponse.Error text.
+	Message string
+	// RetryAfter is the parsed Retry-After header on 429 responses, 0
+	// when absent.
+	RetryAfter time.Duration
+	// Method and Path identify the request that failed.
+	Method, Path string
+}
+
+func (e *Error) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = http.StatusText(e.Status)
+	}
+	if e.Code != "" {
+		return fmt.Sprintf("api: %s %s: %s (%s, HTTP %d)", e.Method, e.Path, msg, e.Code, e.Status)
+	}
+	return fmt.Sprintf("api: %s %s: %s (HTTP %d)", e.Method, e.Path, msg, e.Status)
+}
+
+// Is maps the structured code (or, when absent, the HTTP status) onto
+// the package sentinels, so callers branch with errors.Is instead of
+// string matching.
+func (e *Error) Is(target error) bool {
+	code := e.Code
+	if code == "" {
+		switch {
+		case e.Status == http.StatusBadRequest:
+			code = CodeBadRequest
+		case e.Status == http.StatusNotFound:
+			code = CodeNotFound
+		case e.Status == http.StatusTooManyRequests:
+			code = CodeOverBudget
+		case e.Status == http.StatusConflict:
+			code = CodeConflict
+		case e.Status >= 500:
+			code = CodeInternal
+		}
+	}
+	switch target {
+	case ErrBadRequest:
+		return code == CodeBadRequest
+	case ErrNotFound:
+		return code == CodeNotFound
+	case ErrOverBudget:
+		return code == CodeOverBudget
+	case ErrConflict:
+		return code == CodeConflict
+	case ErrInternal:
+		return code == CodeInternal
+	}
+	return false
+}

@@ -52,7 +52,33 @@ func (localBackend) RunCell(ctx context.Context, w Workload, cfg config.Configur
 		res, err := runUncached(w, cfg, opt)
 		return res, false, err
 	}
-	return runCached(w, cfg, opt)
+	return runThroughCache(w, cfg, opt, func() (*RunResult, bool, error) {
+		res, err := runUncached(w, cfg, opt)
+		return res, false, err
+	})
+}
+
+// cachedBackend layers the run-cache and journal tiers of Options over
+// any inner backend.
+type cachedBackend struct{ inner Backend }
+
+// Cached wraps inner with the same cache/journal tier the local backend
+// has built in: cells are served from Options.Cache or the replayed
+// Options.Journal when possible, and every cell the inner backend
+// returns is recorded to both. Local() does not need it; a remote or
+// sharded backend does — without it, a frontend daemon scattering cells
+// to workers would have no journal of its own to resume from and no
+// cache to serve warm reruns out of. Layer it innermost-but-one:
+// Dedupe(Gate(Cached(remote))).
+func Cached(inner Backend) Backend { return cachedBackend{inner: inner} }
+
+func (b cachedBackend) RunCell(ctx context.Context, w Workload, cfg config.Configuration, opt Options) (*RunResult, bool, error) {
+	if opt.Cache == nil && opt.Journal == nil {
+		return b.inner.RunCell(ctx, w, cfg, opt)
+	}
+	return runThroughCache(w, cfg, opt, func() (*RunResult, bool, error) {
+		return b.inner.RunCell(ctx, w, cfg, opt)
+	})
 }
 
 // flight is one in-progress cell computation; waiters block on done and

@@ -39,18 +39,22 @@ func cellLabel(w Workload, cfg config.Configuration, opt Options) string {
 	return fmt.Sprintf("%s|%s|seed=%d", w.Name(), cfg.Name, opt.Seed)
 }
 
-// runCached serves a cell from the run cache or the replayed journal when
-// possible, computing and recording it otherwise. Decode failures —
-// corrupt disk entries, schema drift — degrade to recomputation. The
-// cached return reports whether the cell was served rather than computed;
-// RunContext owns the progress and metric accounting built on it.
-func runCached(w Workload, cfg config.Configuration, opt Options) (*RunResult, bool, error) {
+// runThroughCache serves a cell from the run cache or the replayed
+// journal when possible, running compute and recording its result
+// otherwise. It is the shared cache/journal tier of every backend that
+// carries one: the local backend's compute is the cycle engine
+// (runUncached), the Cached decorator's compute is its inner backend —
+// which is how a sharding frontend keeps a resumable journal of cells
+// that were simulated machines away. Decode failures — corrupt disk
+// entries, schema drift — degrade to recomputation. The cached return
+// reports whether the cell was served rather than computed; RunContext
+// owns the progress and metric accounting built on it.
+func runThroughCache(w Workload, cfg config.Configuration, opt Options, compute func() (*RunResult, bool, error)) (*RunResult, bool, error) {
 	hash, err := CacheKey(w, cfg, opt).Hash()
 	if err != nil {
 		// An unhashable key cannot happen with plain-data inputs; if it
 		// does, fall back to the uncached path rather than failing the run.
-		res, rerr := runUncached(w, cfg, opt)
-		return res, false, rerr
+		return compute()
 	}
 	if payload, ok := opt.Cache.Get(hash); ok {
 		if res, err := decodeRunResult(payload); err == nil {
@@ -64,27 +68,21 @@ func runCached(w Workload, cfg config.Configuration, opt Options) (*RunResult, b
 			return res, true, nil
 		}
 	}
-	res, err := runUncached(w, cfg, opt)
+	res, cached, err := compute()
 	if err != nil {
 		return nil, false, err
 	}
 	if payload, err := encodeRunResult(res); err == nil {
 		// Best effort: a full disk or read-only journal must not fail the
-		// simulation that just succeeded.
+		// simulation that just succeeded. Recorded even when the inner
+		// backend reports cached (a remote worker's warm cache): this
+		// tier's cache and journal are what make the *next* lookup, and a
+		// resumed study, local hits.
 		_ = opt.Cache.Put(hash, payload)
 		_ = opt.Journal.Append(hash, cellLabel(w, cfg, opt), payload)
 	}
-	return res, false, nil
+	return res, cached, nil
 }
-
-// eventByName maps counter-event names back to events for decoding.
-var eventByName = func() map[string]counters.Event {
-	m := map[string]counters.Event{}
-	for _, e := range counters.Events() {
-		m[e.String()] = e
-	}
-	return m
-}()
 
 // cellProgram is the cache encoding of one ProgramResult. Metrics are
 // not stored: they are re-derived from the counters on decode, so a
@@ -112,34 +110,6 @@ type cellResult struct {
 	Samples    []cellSample         `json:"samples,omitempty"`
 }
 
-// countersToMap flattens a counter set to its non-zero events by name.
-func countersToMap(s *counters.Set) map[string]uint64 {
-	var m map[string]uint64
-	for _, e := range counters.Events() {
-		if v := s.Get(e); v != 0 {
-			if m == nil {
-				m = map[string]uint64{}
-			}
-			m[e.String()] = v
-		}
-	}
-	return m
-}
-
-// countersFromMap rebuilds a counter set; unknown event names mean the
-// entry was written by different code and must not be trusted.
-func countersFromMap(m map[string]uint64) (counters.Set, error) {
-	var s counters.Set
-	for name, v := range m {
-		e, ok := eventByName[name]
-		if !ok {
-			return counters.Set{}, fmt.Errorf("core: unknown counter event %q in cached result", name)
-		}
-		s.Add(e, v)
-	}
-	return s, nil
-}
-
 // encodeRunResult serializes r for the run cache and journal.
 func encodeRunResult(r *RunResult) ([]byte, error) {
 	out := cellResult{
@@ -153,7 +123,7 @@ func encodeRunResult(r *RunResult) ([]byte, error) {
 			Benchmark: p.Benchmark,
 			Threads:   p.Threads,
 			Cycles:    p.Cycles,
-			Counters:  countersToMap(&p.Counters),
+			Counters:  p.Counters.NonzeroMap(),
 		})
 	}
 	for i := range r.Samples {
@@ -161,7 +131,7 @@ func encodeRunResult(r *RunResult) ([]byte, error) {
 		out.Samples = append(out.Samples, cellSample{
 			Start:    s.Start,
 			End:      s.End,
-			Counters: countersToMap(&s.Counters),
+			Counters: s.Counters.NonzeroMap(),
 		})
 	}
 	return json.Marshal(out)
@@ -180,7 +150,7 @@ func decodeRunResult(payload []byte) (*RunResult, error) {
 	}
 	res := &RunResult{Config: in.Config, WallCycles: in.WallCycles}
 	for _, p := range in.Programs {
-		set, err := countersFromMap(p.Counters)
+		set, err := counters.SetFromMap(p.Counters)
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +163,7 @@ func decodeRunResult(payload []byte) (*RunResult, error) {
 		})
 	}
 	for _, s := range in.Samples {
-		set, err := countersFromMap(s.Counters)
+		set, err := counters.SetFromMap(s.Counters)
 		if err != nil {
 			return nil, err
 		}

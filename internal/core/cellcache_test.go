@@ -24,7 +24,7 @@ import (
 func TestColdWarmResumedStudiesIdentical(t *testing.T) {
 	dir := t.TempDir()
 
-	cold, err := RunSingleStudy(quickOptions())
+	cold, err := runSingleStudy(quickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestColdWarmResumedStudiesIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	populate.Cache = cache1
-	first, err := RunSingleStudy(populate)
+	first, err := runSingleStudy(populate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestColdWarmResumedStudiesIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	warmOpt.Cache = cache2
-	warm, err := RunSingleStudy(warmOpt)
+	warm, err := runSingleStudy(warmOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestColdWarmResumedStudiesIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	recOpt.Journal = rec
-	if _, err := RunSingleStudy(recOpt); err != nil {
+	if _, err := runSingleStudy(recOpt); err != nil {
 		t.Fatal(err)
 	}
 	rec.Close()
@@ -95,7 +95,7 @@ func TestColdWarmResumedStudiesIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resumed, err := RunSingleStudy(resOpt)
+	resumed, err := runSingleStudy(resOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +120,11 @@ func TestCacheSharedAcrossStudies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunPairStudy(opt); err != nil {
+	if _, err := runPairStudy(opt); err != nil {
 		t.Fatal(err)
 	}
 	afterPair := opt.Cache.Stats()
-	if _, err := RunCrossStudy(opt); err != nil {
+	if _, err := runCrossStudy(opt); err != nil {
 		t.Fatal(err)
 	}
 	s := opt.Cache.Stats()

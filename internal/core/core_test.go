@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,6 +16,32 @@ func quickOptions() Options {
 	o := DefaultOptions()
 	o.Scale = 0.02
 	return o
+}
+
+// runSingleStudy / runPairStudy / runCrossStudy run a fresh study to
+// completion — the run-and-return shorthand tests in this package share.
+func runSingleStudy(opt Options) (*SingleStudy, error) {
+	s := NewSingleStudy()
+	if err := s.Run(context.Background(), opt); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func runPairStudy(opt Options) (*PairStudy, error) {
+	s := NewPairStudy()
+	if err := s.Run(context.Background(), opt); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func runCrossStudy(opt Options) (*CrossStudy, error) {
+	s := NewCrossStudy()
+	if err := s.Run(context.Background(), opt); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func TestOptionsValidation(t *testing.T) {

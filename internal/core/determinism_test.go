@@ -16,7 +16,7 @@ func serializedStudy(t *testing.T, workers int) []byte {
 	opt := quickOptions()
 	opt.Seed = 7
 	opt.Workers = workers
-	s, err := RunSingleStudy(opt)
+	s, err := runSingleStudy(opt)
 	if err != nil {
 		t.Fatal(err)
 	}

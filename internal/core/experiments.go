@@ -211,20 +211,6 @@ func (s *SingleStudy) Run(ctx context.Context, opt Options) error {
 	})
 }
 
-// RunSingleStudy executes every studied benchmark under every Table-1
-// configuration.
-//
-// Deprecated: use NewSingleStudy and the Study interface
-// (s.Run(ctx, opt)), which adds cancellation; this wrapper remains for
-// existing callers.
-func RunSingleStudy(opt Options) (*SingleStudy, error) {
-	s := NewSingleStudy()
-	if err := s.Run(context.Background(), opt); err != nil {
-		return nil, err
-	}
-	return s, nil
-}
-
 // Result returns the run for (benchmark, configuration name).
 func (s *SingleStudy) Result(bench, cfgName string) (*RunResult, error) {
 	r, ok := s.Results[CellKey{bench, cfgName}]
@@ -352,18 +338,6 @@ func (s *PairStudy) Run(ctx context.Context, opt Options) error {
 		}
 	}
 	return nil
-}
-
-// RunPairStudy executes the Figure-4 workloads under every configuration.
-//
-// Deprecated: use NewPairStudy and the Study interface (s.Run(ctx, opt)),
-// which adds cancellation; this wrapper remains for existing callers.
-func RunPairStudy(opt Options) (*PairStudy, error) {
-	s := NewPairStudy()
-	if err := s.Run(context.Background(), opt); err != nil {
-		return nil, err
-	}
-	return s, nil
 }
 
 // ProgramSpeedup returns program pi's speedup over its dedicated serial run
@@ -494,16 +468,4 @@ func (s *CrossStudy) Run(ctx context.Context, opt Options) error {
 		s.Boxes[cfg.Name] = box
 	}
 	return nil
-}
-
-// RunCrossStudy executes the full cross-product.
-//
-// Deprecated: use NewCrossStudy and the Study interface (s.Run(ctx, opt)),
-// which adds cancellation; this wrapper remains for existing callers.
-func RunCrossStudy(opt Options) (*CrossStudy, error) {
-	s := NewCrossStudy()
-	if err := s.Run(context.Background(), opt); err != nil {
-		return nil, err
-	}
-	return s, nil
 }

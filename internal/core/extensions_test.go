@@ -206,11 +206,11 @@ func TestStudiesWorkerInvariant(t *testing.T) {
 	seq := quickOptions()
 	par := quickOptions()
 	par.Workers = 4
-	s1, err := RunSingleStudy(seq)
+	s1, err := runSingleStudy(seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := RunSingleStudy(par)
+	s2, err := runSingleStudy(par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestRunResultJSONExport(t *testing.T) {
 }
 
 func TestStudyJSONExport(t *testing.T) {
-	s, err := RunSingleStudy(quickOptions())
+	s, err := runSingleStudy(quickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

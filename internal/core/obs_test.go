@@ -83,7 +83,7 @@ func TestObsOverhead(t *testing.T) {
 
 	obs.Default.Reset()
 	st := obs.StartTimer()
-	if _, err := RunSingleStudy(quickOptions()); err != nil {
+	if _, err := runSingleStudy(quickOptions()); err != nil {
 		t.Fatal(err)
 	}
 	wall := float64(st.ElapsedNs())

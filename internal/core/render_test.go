@@ -19,7 +19,7 @@ var (
 func tinyStudy(t *testing.T) *SingleStudy {
 	t.Helper()
 	tinyOnce.Do(func() {
-		tinyCache, tinyErr = RunSingleStudy(quickOptions())
+		tinyCache, tinyErr = runSingleStudy(quickOptions())
 	})
 	if tinyErr != nil {
 		t.Fatal(tinyErr)

@@ -18,7 +18,7 @@ func TestPaperShapes(t *testing.T) {
 	}
 	opt := DefaultOptions()
 	opt.Scale = 0.4
-	study, err := RunSingleStudy(opt)
+	study, err := runSingleStudy(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestPairStudyShapes(t *testing.T) {
 	}
 	opt := DefaultOptions()
 	opt.Scale = 0.3
-	study, err := RunPairStudy(opt)
+	study, err := runPairStudy(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestCrossStudyShapes(t *testing.T) {
 	}
 	opt := DefaultOptions()
 	opt.Scale = 0.3
-	study, err := RunCrossStudy(opt)
+	study, err := runCrossStudy(opt)
 	if err != nil {
 		t.Fatal(err)
 	}

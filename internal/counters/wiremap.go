@@ -1,0 +1,48 @@
+package counters
+
+import "fmt"
+
+// Name-keyed map form of a Set — the serialization the run cache, the
+// study journals, and the HTTP wire (api.CellProgram.Counters) all
+// share. Names, not ordinals, so a payload written before an event was
+// added (or reordered) still decodes, and one written by foreign code
+// fails loudly instead of silently misattributing counts.
+
+// eventByName maps counter-event names back to events for decoding.
+var eventByName = func() map[string]Event {
+	m := map[string]Event{}
+	for _, e := range Events() {
+		m[e.String()] = e
+	}
+	return m
+}()
+
+// NonzeroMap flattens the set to its non-zero events by name; a set with
+// no counts returns nil, which serializers omit.
+func (s *Set) NonzeroMap() map[string]uint64 {
+	var m map[string]uint64
+	for _, e := range Events() {
+		if v := s.Get(e); v != 0 {
+			if m == nil {
+				m = map[string]uint64{}
+			}
+			m[e.String()] = v
+		}
+	}
+	return m
+}
+
+// SetFromMap rebuilds a counter set from its name-keyed form; unknown
+// event names mean the payload was written by different code and must
+// not be trusted.
+func SetFromMap(m map[string]uint64) (Set, error) {
+	var s Set
+	for name, v := range m {
+		e, ok := eventByName[name]
+		if !ok {
+			return Set{}, fmt.Errorf("counters: unknown counter event %q in encoded set", name)
+		}
+		s.Add(e, v)
+	}
+	return s, nil
+}

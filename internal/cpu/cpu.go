@@ -935,7 +935,6 @@ func (c *Core) StepWindow(x *Context, from, bound, limit int64, watchRelease boo
 	if u := x.cur; u != nil && u.State != ThreadDone {
 		t = u
 	}
-	//xeonlint:ignore hotalloc one closure per solo window, amortized over the window's cycles; a method split measured slower (PR 6)
 	settle := func(upto int64) {
 		if t != nil && upto > seg {
 			t.Counters.Add(counters.Cycles, uint64(upto-seg))

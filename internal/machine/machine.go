@@ -517,7 +517,6 @@ func (m *Machine) runSolo(cx *cpu.Core, active []*cpu.Context, cores []*cpu.Core
 	// must stop at any cycle where other cores ARE stepped (the release
 	// path): from there the reference engine charges post-step states, so
 	// settle against the entry set first and let accrue handle the rest.
-	//xeonlint:ignore hotalloc one closure per solo window, amortized over the window's cycles
 	settle := func(upto int64) {
 		if d := upto - from; d > 0 {
 			for _, t := range otherAcc {
@@ -526,7 +525,6 @@ func (m *Machine) runSolo(cx *cpu.Core, active []*cpu.Context, cores []*cpu.Core
 		}
 		from = upto
 	}
-	//xeonlint:ignore hotalloc one defer per window covers every early return below; the window amortizes it
 	defer func() { settle(now) }()
 
 	// A barrier release can only change off-core state when some team
@@ -548,7 +546,6 @@ func (m *Machine) runSolo(cx *cpu.Core, active []*cpu.Context, cores []*cpu.Core
 	// charge settles through the last fully-quiet cycle first: stepping the
 	// later cores can finish or remount their threads, and the final
 	// advancement must be charged to post-step states.
-	//xeonlint:ignore hotalloc one closure per solo window, built only on the rare non-self-contained path's behalf
 	finishRelease := func(at int64, issued bool) int64 {
 		settle(at)
 		after := false

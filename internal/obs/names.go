@@ -70,4 +70,14 @@ const (
 	MetricServerStudiesCanceled = "server.studies_canceled"
 	MetricServerRejected        = "server.rejected"
 	MetricServerActiveStudies   = "server.active_studies"
+
+	// Sharded execution (internal/shard): cells_sent counts cells
+	// dispatched to remote workers (totalled across shards; the per-shard
+	// split is the dynamic shard.cells_sent.<i> series), retries counts
+	// 429-and-wait rounds against busy workers, failovers counts cells
+	// that executed away from their cache-affinity home shard because it
+	// was down or unreachable.
+	MetricShardCellsSent = "shard.cells_sent"
+	MetricShardRetries   = "shard.retries"
+	MetricShardFailovers = "shard.failovers"
 )

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"xeonomp/internal/api"
 	"xeonomp/internal/config"
 	"xeonomp/internal/core"
 )
@@ -16,7 +17,7 @@ import (
 type job struct {
 	id    string
 	hash  string
-	req   StudyRequest
+	req   api.StudyRequest
 	study core.Study
 	total int
 	// cancel aborts the job's context; DELETE /api/v1/study/{id} and
@@ -28,14 +29,14 @@ type job struct {
 	cond      *sync.Cond
 	state     string
 	err       error
-	events    []Event
+	events    []api.Event
 	done      int
 	cached    int
 	names     []string          // artifact names, study order
 	artifacts map[string][]byte // canonical golden JSON by name
 }
 
-func newJob(id, hash string, req StudyRequest, study core.Study, total int, cancel context.CancelFunc) *job {
+func newJob(id, hash string, req api.StudyRequest, study core.Study, total int, cancel context.CancelFunc) *job {
 	j := &job{
 		id:     id,
 		hash:   hash,
@@ -43,7 +44,7 @@ func newJob(id, hash string, req StudyRequest, study core.Study, total int, canc
 		study:  study,
 		total:  total,
 		cancel: cancel,
-		state:  StateRunning,
+		state:  api.StateRunning,
 	}
 	j.cond = sync.NewCond(&j.mu)
 	return j
@@ -58,7 +59,7 @@ func (j *job) cellDone(cell string, cached bool) {
 	if cached {
 		j.cached++
 	}
-	j.events = append(j.events, Event{
+	j.events = append(j.events, api.Event{
 		Seq:    len(j.events) + 1,
 		Cell:   cell,
 		Cached: cached,
@@ -77,7 +78,7 @@ func (j *job) finish(state string, err error, names []string, artifacts map[stri
 	j.err = err
 	j.names = names
 	j.artifacts = artifacts
-	e := Event{Seq: len(j.events) + 1, Done: j.done, Total: j.total, State: state}
+	e := api.Event{Seq: len(j.events) + 1, Done: j.done, Total: j.total, State: state}
 	if err != nil {
 		e.Error = err.Error()
 	}
@@ -86,10 +87,10 @@ func (j *job) finish(state string, err error, names []string, artifacts map[stri
 }
 
 // status snapshots the job as its wire representation.
-func (j *job) status() StudyStatus {
+func (j *job) status() api.StudyStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := StudyStatus{
+	st := api.StudyStatus{
 		ID:          j.id,
 		Study:       j.req.Study,
 		State:       j.state,
@@ -116,7 +117,7 @@ func (j *job) artifact(name string) ([]byte, bool) {
 // for new events until the job is terminal, fn fails (a disconnected
 // subscriber), or ctx ends. Late subscribers see the full history: the
 // event log is the job's journal, not a lossy broadcast.
-func (j *job) stream(ctx context.Context, fn func(Event) error) error {
+func (j *job) stream(ctx context.Context, fn func(api.Event) error) error {
 	// cond.Wait cannot select on ctx; a cancellation wakes all waiters
 	// and the loop re-checks ctx below.
 	stopWake := context.AfterFunc(ctx, func() {
@@ -139,7 +140,7 @@ func (j *job) stream(ctx context.Context, fn func(Event) error) error {
 				return err
 			}
 		}
-		if j.state != StateRunning {
+		if j.state != api.StateRunning {
 			return nil
 		}
 		if err := ctx.Err(); err != nil {

@@ -7,8 +7,11 @@
 // artifacts and determinism pins are the contract, and the byte-identity
 // test plus the server-smoke CI job enforce it.
 //
-// The package holds the handlers and job machinery; cmd/xeond is the
-// thin daemon main around it, cmd/xeonctl the matching client.
+// The wire schema the handlers speak — request/response bodies, error
+// codes, the progress-event format — lives in internal/api, shared with
+// cmd/xeonctl's client and the internal/shard remote backend; this
+// package holds only the handlers and job machinery. cmd/xeond is the
+// thin daemon main around it.
 package server
 
 import (
@@ -22,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"xeonomp/internal/api"
 	"xeonomp/internal/config"
 	"xeonomp/internal/core"
 	"xeonomp/internal/journal"
@@ -204,13 +208,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError emits the JSON error body; 429s count as admission
-// rejections.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+// writeError emits the structured JSON error body (code is one of the
+// api.Code* constants — the stable contract api.Client maps onto typed
+// errors). 429s count as admission rejections and carry a Retry-After
+// hint: admission pressure clears as soon as a study slot or cell
+// budget frees, so the hint is deliberately coarse.
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
 	if status == http.StatusTooManyRequests {
 		obsRejected.Inc()
+		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -230,7 +238,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // buildOptions turns wire knobs into validated core Options carrying the
 // server's shared cache and the given backend.
 func (s *Server) buildOptions(scale float64, seed uint64, policy string, backend core.Backend, jn *journal.Journal) (core.Options, error) {
-	pol, err := parsePolicy(policy)
+	pol, err := api.ParsePolicy(policy)
 	if err != nil {
 		return core.Options{}, err
 	}
@@ -255,38 +263,38 @@ func (s *Server) buildOptions(scale float64, seed uint64, policy string, backend
 // (waiters leave the dedupe/gate queues immediately; a running leader
 // finishes its current cell at the next engine checkpoint).
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
-	var req CellRequest
+	var req api.CellRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding cell request: %v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding cell request: %v", err)
 		return
 	}
 	if len(req.Benchmarks) < 1 || len(req.Benchmarks) > 2 {
-		writeError(w, http.StatusBadRequest, "benchmarks must name 1 or 2 programs, got %d", len(req.Benchmarks))
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "benchmarks must name 1 or 2 programs, got %d", len(req.Benchmarks))
 		return
 	}
 	var progs []profiles.Profile
 	for _, name := range req.Benchmarks {
 		p, err := profiles.ByName(name)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 			return
 		}
 		progs = append(progs, p)
 	}
 	cfg, err := config.ByName(req.Config)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
-	norm := StudyRequest{Scale: req.Scale, Seed: req.Seed, Policy: req.Policy}.normalized()
+	norm := api.StudyRequest{Scale: req.Scale, Seed: req.Seed, Policy: req.Policy}.Normalized()
 	if norm.Scale < 0 || norm.Scale > s.cfg.MaxScale {
-		writeError(w, http.StatusBadRequest, "scale %g outside (0, %g]", norm.Scale, s.cfg.MaxScale)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "scale %g outside (0, %g]", norm.Scale, s.cfg.MaxScale)
 		return
 	}
 	capture := &captureBackend{inner: s.backend}
 	opt, err := s.buildOptions(norm.Scale, norm.Seed, norm.Policy, capture, nil)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 
@@ -296,16 +304,21 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 			// The client is gone; the response would go nowhere.
 			return
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		return
 	}
-	resp := CellResponse{WallCycles: res.WallCycles, Cached: capture.cached}
-	for _, p := range res.Programs {
-		resp.Programs = append(resp.Programs, CellProgram{
+	resp := api.CellResponse{WallCycles: res.WallCycles, Cached: capture.cached}
+	for i := range res.Programs {
+		p := &res.Programs[i]
+		resp.Programs = append(resp.Programs, api.CellProgram{
 			Benchmark: p.Benchmark,
 			Threads:   p.Threads,
 			Cycles:    p.Cycles,
-			Metrics:   p.Metrics,
+			// Raw counters travel alongside the derived metrics: a remote
+			// backend rebuilds its RunResult (and its own cache/journal
+			// payloads) from them, re-deriving metrics on its side.
+			Counters: p.Counters.NonzeroMap(),
+			Metrics:  p.Metrics,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -314,38 +327,38 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 // handleStudySubmit admits, registers, and starts one study job,
 // answering 202 with the job's initial status.
 func (s *Server) handleStudySubmit(w http.ResponseWriter, r *http.Request) {
-	var req StudyRequest
+	var req api.StudyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding study request: %v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding study request: %v", err)
 		return
 	}
-	req = req.normalized()
+	req = req.Normalized()
 	study, err := core.NewStudy(req.Study)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	cells, err := core.StudyCells(req.Study)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	if req.Scale < 0 || req.Scale > s.cfg.MaxScale {
-		writeError(w, http.StatusBadRequest, "scale %g outside (0, %g]", req.Scale, s.cfg.MaxScale)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "scale %g outside (0, %g]", req.Scale, s.cfg.MaxScale)
 		return
 	}
-	if _, err := parsePolicy(req.Policy); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if _, err := api.ParsePolicy(req.Policy); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	if cells > s.cfg.MaxCellsPerRequest {
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, http.StatusTooManyRequests, api.CodeOverBudget,
 			"study %q expands to %d cells, over the per-request budget of %d", req.Study, cells, s.cfg.MaxCellsPerRequest)
 		return
 	}
-	hash, err := req.hash()
+	hash, err := req.Hash()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		return
 	}
 
@@ -353,7 +366,7 @@ func (s *Server) handleStudySubmit(w http.ResponseWriter, r *http.Request) {
 	if s.active >= s.cfg.MaxConcurrentStudies {
 		active := s.active
 		s.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, http.StatusTooManyRequests, api.CodeOverBudget,
 			"%d studies already running, concurrency budget is %d", active, s.cfg.MaxConcurrentStudies)
 		return
 	}
@@ -383,11 +396,11 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	fail := func(err error) {
 		if errors.Is(err, context.Canceled) {
 			obsStudiesCanceled.Inc()
-			j.finish(StateCanceled, err, nil, nil)
+			j.finish(api.StateCanceled, err, nil, nil)
 			return
 		}
 		obsStudiesFailed.Inc()
-		j.finish(StateFailed, err, nil, nil)
+		j.finish(api.StateFailed, err, nil, nil)
 	}
 	jn, err := s.journalFor(j.hash)
 	if err != nil {
@@ -420,7 +433,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		byName[a.Name] = b
 	}
 	obsStudiesDone.Inc()
-	j.finish(StateDone, nil, names, byName)
+	j.finish(api.StateDone, nil, names, byName)
 }
 
 // jobByID resolves the {id} path value, answering 404 itself.
@@ -430,7 +443,7 @@ func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "no study job %q", id)
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "no study job %q", id)
 		return nil
 	}
 	return j
@@ -446,7 +459,7 @@ func (s *Server) handleStudyList(w http.ResponseWriter, _ *http.Request) {
 	// Submission order: job ids carry the sequence number ("job-12"), and
 	// lexicographic order gets multi-digit suffixes wrong.
 	sort.Slice(jobs, func(a, b int) bool { return jobSeqOf(jobs[a].id) < jobSeqOf(jobs[b].id) })
-	statuses := make([]StudyStatus, 0, len(jobs))
+	statuses := make([]api.StudyStatus, 0, len(jobs))
 	for _, j := range jobs {
 		statuses = append(statuses, j.status())
 	}
@@ -482,14 +495,14 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := j.status()
-	if st.State != StateDone {
-		writeError(w, http.StatusConflict, "study job %s is %s; artifacts exist only once done", st.ID, st.State)
+	if st.State != api.StateDone {
+		writeError(w, http.StatusConflict, api.CodeConflict, "study job %s is %s; artifacts exist only once done", st.ID, st.State)
 		return
 	}
 	name := r.PathValue("name")
 	b, ok := j.artifact(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "job %s has no artifact %q (have %v)", st.ID, name, st.Artifacts)
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "job %s has no artifact %q (have %v)", st.ID, name, st.Artifacts)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -510,7 +523,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	// The only error paths are a gone client or a canceled request;
 	// either way the stream just ends.
-	_ = j.stream(r.Context(), func(e Event) error {
+	_ = j.stream(r.Context(), func(e api.Event) error {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}

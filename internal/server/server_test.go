@@ -4,8 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"io"
-	"net/http"
+	"errors"
 	"net/http/httptest"
 	"path/filepath"
 	"sync"
@@ -13,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"xeonomp/internal/api"
 	"xeonomp/internal/config"
 	"xeonomp/internal/core"
 	"xeonomp/internal/journal"
@@ -24,9 +24,11 @@ import (
 // recomputes its local reference at the same scale, so any value works.
 const testScale = 0.02
 
-// newTestServer boots a Server behind httptest and tears both down with
-// the test.
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+// newTestServer boots a Server behind httptest and returns the typed
+// client for it; both are torn down with the test. Every byte of wire
+// traffic in this file goes through api.Client — the server tests are
+// also the client's integration tests.
+func newTestServer(t *testing.T, cfg Config) (*Server, *api.Client) {
 	t.Helper()
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
@@ -36,105 +38,53 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 			t.Errorf("closing server: %v", err)
 		}
 	})
-	return s, ts
+	return s, api.NewClient(ts.URL)
 }
 
-// postJSON posts body and decodes the response into out, returning the
-// status code.
-func postJSON(t *testing.T, url string, body, out any) int {
+// followProgress consumes the progress stream until the terminal event
+// and returns every event received, in order.
+func followProgress(t *testing.T, c *api.Client, id string) []api.Event {
 	t.Helper()
-	b, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		// Body fully consumed by the decode below.
-		_ = resp.Body.Close()
-	}()
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
-			t.Fatalf("decoding %s response: %v", url, err)
-		}
-	}
-	return resp.StatusCode
-}
-
-// getJSON fetches url into out, returning the status code.
-func getJSON(t *testing.T, url string, out any) int {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		// Body fully consumed by the decode below.
-		_ = resp.Body.Close()
-	}()
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
-			t.Fatalf("decoding %s response: %v", url, err)
-		}
-	}
-	return resp.StatusCode
-}
-
-// followProgress consumes the /progress/{id} stream until the terminal
-// event and returns every event received.
-func followProgress(t *testing.T, base, id string) []Event {
-	t.Helper()
-	resp, err := http.Get(base + "/progress/" + id)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		// Stream fully consumed (or the test already failed).
-		_ = resp.Body.Close()
-	}()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("progress %s: status %d", id, resp.StatusCode)
-	}
-	var events []Event
-	dec := json.NewDecoder(resp.Body)
-	for {
-		var e Event
-		if err := dec.Decode(&e); err != nil {
-			t.Fatalf("progress stream broke before a terminal event: %v", err)
-		}
+	var events []api.Event
+	if _, err := c.Follow(context.Background(), id, func(e api.Event) error {
 		events = append(events, e)
-		if e.State != "" {
-			return events
-		}
+		return nil
+	}); err != nil {
+		t.Fatalf("progress stream broke before a terminal event: %v", err)
 	}
+	return events
 }
 
-// metricCounter scrapes one counter from the /metrics endpoint.
-func metricCounter(t *testing.T, base, name string) float64 {
+// metricCounter scrapes one counter from the daemon's metrics snapshot.
+func metricCounter(t *testing.T, c *api.Client, name string) float64 {
 	t.Helper()
+	b, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
 	var m struct {
 		Counters map[string]float64 `json:"counters"`
 	}
-	if code := getJSON(t, base+"/metrics", &m); code != http.StatusOK {
-		t.Fatalf("metrics: status %d", code)
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("decoding metrics snapshot: %v", err)
 	}
 	return m.Counters[name]
 }
 
 func TestHealthzAndMetrics(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	var h map[string]string
-	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h["status"] != "ok" {
-		t.Fatalf("healthz: %d %v", code, h)
+	_, c := newTestServer(t, Config{})
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	b, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
 	}
 	var m struct {
 		Counters map[string]float64 `json:"counters"`
-		Gauges   map[string]float64 `json:"gauges"`
 	}
-	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
-		t.Fatalf("metrics: status %d", code)
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("decoding metrics snapshot: %v", err)
 	}
 	if _, ok := m.Counters["server.http_requests"]; !ok {
 		t.Error("metrics snapshot is missing server.http_requests")
@@ -142,27 +92,30 @@ func TestHealthzAndMetrics(t *testing.T) {
 }
 
 func TestCellEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	var resp CellResponse
-	code := postJSON(t, ts.URL+"/api/v1/cell",
-		CellRequest{Benchmarks: []string{"CG"}, Config: "Serial", Scale: testScale}, &resp)
-	if code != http.StatusOK {
-		t.Fatalf("cell: status %d", code)
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	resp, err := c.RunCell(ctx, api.CellRequest{Benchmarks: []string{"CG"}, Config: "Serial", Scale: testScale})
+	if err != nil {
+		t.Fatalf("cell: %v", err)
 	}
 	if len(resp.Programs) != 1 || resp.Programs[0].Benchmark != "CG" || resp.WallCycles <= 0 {
 		t.Fatalf("cell response malformed: %+v", resp)
 	}
+	if len(resp.Programs[0].Counters) == 0 {
+		t.Fatal("cell response carries no raw counters; remote backends cannot rebuild results without them")
+	}
 
 	// The same cell again: no cache is configured, so it recomputes and
 	// still reports cached=false; with a cache it must flip to true.
-	_, tsCached := newTestServer(t, Config{Cache: newMemCache(t)})
-	req := CellRequest{Benchmarks: []string{"CG"}, Config: "Serial", Scale: testScale}
-	var first, second CellResponse
-	if code := postJSON(t, tsCached.URL+"/api/v1/cell", req, &first); code != http.StatusOK {
-		t.Fatalf("first cell: status %d", code)
+	_, cCached := newTestServer(t, Config{Cache: newMemCache(t)})
+	req := api.CellRequest{Benchmarks: []string{"CG"}, Config: "Serial", Scale: testScale}
+	first, err := cCached.RunCell(ctx, req)
+	if err != nil {
+		t.Fatalf("first cell: %v", err)
 	}
-	if code := postJSON(t, tsCached.URL+"/api/v1/cell", req, &second); code != http.StatusOK {
-		t.Fatalf("second cell: status %d", code)
+	second, err := cCached.RunCell(ctx, req)
+	if err != nil {
+		t.Fatalf("second cell: %v", err)
 	}
 	if first.Cached || !second.Cached {
 		t.Errorf("cache flags: first=%v second=%v, want false/true", first.Cached, second.Cached)
@@ -173,8 +126,8 @@ func TestCellEndpoint(t *testing.T) {
 }
 
 func TestCellEndpointRejectsBadRequests(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	cases := []CellRequest{
+	_, c := newTestServer(t, Config{})
+	cases := []api.CellRequest{
 		{Benchmarks: []string{"CG"}, Config: "no-such-config"},
 		{Benchmarks: []string{"no-such-benchmark"}, Config: "Serial"},
 		{Benchmarks: nil, Config: "Serial"},
@@ -182,11 +135,14 @@ func TestCellEndpointRejectsBadRequests(t *testing.T) {
 		{Benchmarks: []string{"CG"}, Config: "Serial", Scale: 2.5}, // over MaxScale
 	}
 	for _, req := range cases {
-		var e ErrorResponse
-		if code := postJSON(t, ts.URL+"/api/v1/cell", req, &e); code != http.StatusBadRequest {
-			t.Errorf("%+v: status %d, want 400", req, code)
-		} else if e.Error == "" {
-			t.Errorf("%+v: empty error body", req)
+		_, err := c.RunCell(context.Background(), req)
+		if !errors.Is(err, api.ErrBadRequest) {
+			t.Errorf("%+v: error %v, want api.ErrBadRequest", req, err)
+			continue
+		}
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Code != api.CodeBadRequest || apiErr.Message == "" {
+			t.Errorf("%+v: error %v lacks the structured code/message", req, err)
 		}
 	}
 }
@@ -202,20 +158,22 @@ func newMemCache(t *testing.T) *runcache.Cache {
 
 // TestStudyOverHTTPByteIdentity is the remote-equivalence contract: the
 // artifact bytes served by the HTTP API are byte-for-byte the canonical
-// golden JSON a local run of the same study produces.
+// golden JSON a local run of the same study produces. Seq density is
+// enforced by the client's stream iterator as a side effect of Follow.
 func TestStudyOverHTTPByteIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full study over HTTP")
 	}
-	_, ts := newTestServer(t, Config{})
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
 
-	var st StudyStatus
-	if code := postJSON(t, ts.URL+"/api/v1/study", StudyRequest{Study: "single", Scale: testScale}, &st); code != http.StatusAccepted {
-		t.Fatalf("submit: status %d (%+v)", code, st)
+	st, err := c.SubmitStudy(ctx, api.StudyRequest{Study: "single", Scale: testScale})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
 	}
-	events := followProgress(t, ts.URL, st.ID)
+	events := followProgress(t, c, st.ID)
 	last := events[len(events)-1]
-	if last.State != StateDone {
+	if last.State != api.StateDone {
 		t.Fatalf("study finished %s: %s", last.State, last.Error)
 	}
 	for i, e := range events {
@@ -223,8 +181,8 @@ func TestStudyOverHTTPByteIdentity(t *testing.T) {
 			t.Fatalf("event %d has seq %d; the stream must replay the full ordered history", i, e.Seq)
 		}
 	}
-	if code := getJSON(t, ts.URL+"/api/v1/study/"+st.ID, &st); code != http.StatusOK {
-		t.Fatalf("status: %d", code)
+	if st, err = c.Study(ctx, st.ID); err != nil {
+		t.Fatalf("status: %v", err)
 	}
 	wantCells, err := core.StudyCells("single")
 	if err != nil {
@@ -258,18 +216,9 @@ func TestStudyOverHTTPByteIdentity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := http.Get(ts.URL + "/api/v1/study/" + st.ID + "/artifacts/" + a.Name)
+		got, err := c.Artifact(ctx, st.ID, a.Name)
 		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := io.ReadAll(resp.Body)
-		// Fully read above.
-		_ = resp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("artifact %s: status %d", a.Name, resp.StatusCode)
+			t.Fatalf("artifact %s: %v", a.Name, err)
 		}
 		if !bytes.Equal(got, want) {
 			t.Errorf("artifact %s served over HTTP differs from the local canonical bytes", a.Name)
@@ -302,26 +251,27 @@ func (b *holdBackend) RunCell(ctx context.Context, w core.Workload, cfg config.C
 // one simulation happens, and the obs counters expose the shared flight.
 func TestConcurrentIdenticalCellsDedupe(t *testing.T) {
 	hold := &holdBackend{release: make(chan struct{})}
-	_, ts := newTestServer(t, Config{Backend: hold, Workers: 4})
+	_, c := newTestServer(t, Config{Backend: hold, Workers: 4})
+	ctx := context.Background()
 
-	sharedBefore := metricCounter(t, ts.URL, "core.flight_shared")
-	leadersBefore := metricCounter(t, ts.URL, "core.flight_leaders")
+	sharedBefore := metricCounter(t, c, "core.flight_shared")
+	leadersBefore := metricCounter(t, c, "core.flight_leaders")
 
-	req := CellRequest{Benchmarks: []string{"CG"}, Config: "Serial", Scale: testScale}
+	req := api.CellRequest{Benchmarks: []string{"CG"}, Config: "Serial", Scale: testScale}
 	var wg sync.WaitGroup
-	responses := make([]CellResponse, 2)
-	codes := make([]int, 2)
+	responses := make([]api.CellResponse, 2)
+	errs := make([]error, 2)
 	for i := range responses {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			codes[i] = postJSON(t, ts.URL+"/api/v1/cell", req, &responses[i])
+			responses[i], errs[i] = c.RunCell(ctx, req)
 		}(i)
 	}
 	// The leader is parked inside the backend; release once the second
 	// request has joined the flight (visible as a shared-flight count).
 	deadline := time.Now().Add(10 * time.Second)
-	for metricCounter(t, ts.URL, "core.flight_shared")-sharedBefore < 1 {
+	for metricCounter(t, c, "core.flight_shared")-sharedBefore < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("second request never joined the in-flight cell")
 		}
@@ -330,9 +280,9 @@ func TestConcurrentIdenticalCellsDedupe(t *testing.T) {
 	close(hold.release)
 	wg.Wait()
 
-	for i, code := range codes {
-		if code != http.StatusOK {
-			t.Fatalf("request %d: status %d", i, code)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
 		}
 	}
 	if got := hold.entered.Load(); got != 1 {
@@ -344,10 +294,10 @@ func TestConcurrentIdenticalCellsDedupe(t *testing.T) {
 	if responses[0].WallCycles != responses[1].WallCycles {
 		t.Error("shared flight served different results")
 	}
-	if d := metricCounter(t, ts.URL, "core.flight_leaders") - leadersBefore; d != 1 {
+	if d := metricCounter(t, c, "core.flight_leaders") - leadersBefore; d != 1 {
 		t.Errorf("flight_leaders moved by %g, want 1", d)
 	}
-	if d := metricCounter(t, ts.URL, "core.flight_shared") - sharedBefore; d != 1 {
+	if d := metricCounter(t, c, "core.flight_shared") - sharedBefore; d != 1 {
 		t.Errorf("flight_shared moved by %g, want 1", d)
 	}
 }
@@ -362,19 +312,20 @@ func TestStudyCancellationLeavesReplayableJournal(t *testing.T) {
 	}
 	dir := t.TempDir()
 	hold := &holdBackend{free: 3, release: make(chan struct{})}
-	s, ts := newTestServer(t, Config{Backend: hold, JournalDir: dir, Workers: 2})
+	s, c := newTestServer(t, Config{Backend: hold, JournalDir: dir, Workers: 2})
+	ctx := context.Background()
 
-	req := StudyRequest{Study: "single", Scale: testScale}
-	var st StudyStatus
-	if code := postJSON(t, ts.URL+"/api/v1/study", req, &st); code != http.StatusAccepted {
-		t.Fatalf("submit: status %d", code)
+	req := api.StudyRequest{Study: "single", Scale: testScale}
+	st, err := c.SubmitStudy(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
 	}
 	// Wait until some cells completed and the rest are parked.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		var cur StudyStatus
-		if code := getJSON(t, ts.URL+"/api/v1/study/"+st.ID, &cur); code != http.StatusOK {
-			t.Fatalf("status: %d", code)
+		cur, err := c.Study(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("status: %v", err)
 		}
 		if cur.DoneCells >= 2 {
 			break
@@ -384,40 +335,31 @@ func TestStudyCancellationLeavesReplayableJournal(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	delReq, err := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/study/"+st.ID, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := http.DefaultClient.Do(delReq)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r.StatusCode != http.StatusOK {
-		t.Fatalf("cancel: status %d", r.StatusCode)
-	}
 	// The cancel response body is the (possibly still running) status;
 	// the progress stream below observes the terminal state.
-	_ = r.Body.Close()
+	if _, err := c.CancelStudy(ctx, st.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
 
-	events := followProgress(t, ts.URL, st.ID)
+	events := followProgress(t, c, st.ID)
 	last := events[len(events)-1]
-	if last.State != StateCanceled {
-		t.Fatalf("terminal state %q, want %q (error: %s)", last.State, StateCanceled, last.Error)
+	if last.State != api.StateCanceled {
+		t.Fatalf("terminal state %q, want %q (error: %s)", last.State, api.StateCanceled, last.Error)
 	}
-	var cur StudyStatus
-	if code := getJSON(t, ts.URL+"/api/v1/study/"+st.ID, &cur); code != http.StatusOK || cur.State != StateCanceled {
-		t.Fatalf("status after cancel: %d %+v", code, cur)
+	cur, err := c.Study(ctx, st.ID)
+	if err != nil || cur.State != api.StateCanceled {
+		t.Fatalf("status after cancel: %v %+v", err, cur)
 	}
-	// Artifacts must not exist for a canceled job.
-	if code := getJSON(t, ts.URL+"/api/v1/study/"+st.ID+"/artifacts/figure2", nil); code != http.StatusConflict {
-		t.Errorf("artifact of canceled job: status %d, want 409", code)
+	// Artifacts must not exist for a canceled job — a typed conflict.
+	if _, err := c.Artifact(ctx, st.ID, "figure2"); !errors.Is(err, api.ErrConflict) {
+		t.Errorf("artifact of canceled job: error %v, want api.ErrConflict", err)
 	}
 
 	// Release the server's journal handle, then inspect the tail.
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	hash, err := req.hash()
+	hash, err := req.Hash()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,17 +382,17 @@ func TestStudyCancellationLeavesReplayableJournal(t *testing.T) {
 	// Resume: a fresh server over the same journal dir serves the
 	// completed tail without recomputing it.
 	resumeHold := &holdBackend{free: 1 << 30, release: make(chan struct{})}
-	_, ts2 := newTestServer(t, Config{Backend: resumeHold, JournalDir: dir, Workers: 2})
-	var st2 StudyStatus
-	if code := postJSON(t, ts2.URL+"/api/v1/study", req, &st2); code != http.StatusAccepted {
-		t.Fatalf("resubmit: status %d", code)
+	_, c2 := newTestServer(t, Config{Backend: resumeHold, JournalDir: dir, Workers: 2})
+	st2, err := c2.SubmitStudy(ctx, req)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
 	}
-	events2 := followProgress(t, ts2.URL, st2.ID)
-	if last := events2[len(events2)-1]; last.State != StateDone {
+	events2 := followProgress(t, c2, st2.ID)
+	if last := events2[len(events2)-1]; last.State != api.StateDone {
 		t.Fatalf("resumed study finished %s: %s", last.State, last.Error)
 	}
-	if code := getJSON(t, ts2.URL+"/api/v1/study/"+st2.ID, &st2); code != http.StatusOK {
-		t.Fatalf("resumed status: %d", code)
+	if st2, err = c2.Study(ctx, st2.ID); err != nil {
+		t.Fatalf("resumed status: %v", err)
 	}
 	if st2.CachedCells < replayed {
 		t.Errorf("resumed study served %d cells from cache/journal, want >= %d (the journal tail)", st2.CachedCells, replayed)
@@ -458,104 +400,82 @@ func TestStudyCancellationLeavesReplayableJournal(t *testing.T) {
 }
 
 func TestStudyAdmissionControl(t *testing.T) {
-	// A cell budget below the study size rejects with 429 before any work.
-	_, tsBudget := newTestServer(t, Config{MaxCellsPerRequest: 1})
-	var e ErrorResponse
-	if code := postJSON(t, tsBudget.URL+"/api/v1/study", StudyRequest{Study: "single", Scale: testScale}, &e); code != http.StatusTooManyRequests {
-		t.Errorf("over-budget study: status %d, want 429", code)
-	} else if e.Error == "" {
-		t.Error("over-budget study: empty error body")
+	ctx := context.Background()
+	// A cell budget below the study size rejects with a typed over-budget
+	// error carrying the Retry-After hint, before any work.
+	_, cBudget := newTestServer(t, Config{MaxCellsPerRequest: 1})
+	_, err := cBudget.SubmitStudy(ctx, api.StudyRequest{Study: "single", Scale: testScale})
+	if !errors.Is(err, api.ErrOverBudget) {
+		t.Errorf("over-budget study: error %v, want api.ErrOverBudget", err)
 	}
-	rejected := metricCounter(t, tsBudget.URL, "server.rejected")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeOverBudget || apiErr.Message == "" {
+		t.Errorf("over-budget study: error %v lacks the structured code/message", err)
+	} else if apiErr.RetryAfter <= 0 {
+		t.Errorf("over-budget study: no Retry-After hint on %v", err)
+	}
+	rejected := metricCounter(t, cBudget, "server.rejected")
 	if rejected < 1 {
 		t.Errorf("server.rejected is %g after a 429", rejected)
 	}
 
-	// Unknown study names, policies, and oversized scales reject with 400.
-	for _, req := range []StudyRequest{
+	// Unknown study names, policies, and oversized scales reject as bad
+	// requests.
+	for _, req := range []api.StudyRequest{
 		{Study: "no-such-study"},
 		{Study: "single", Policy: "no-such-policy"},
 		{Study: "single", Scale: 2.5},
 	} {
-		if code := postJSON(t, tsBudget.URL+"/api/v1/study", req, nil); code != http.StatusBadRequest {
-			t.Errorf("%+v: status %d, want 400", req, code)
+		if _, err := cBudget.SubmitStudy(ctx, req); !errors.Is(err, api.ErrBadRequest) {
+			t.Errorf("%+v: error %v, want api.ErrBadRequest", req, err)
 		}
 	}
 
-	// A saturated server rejects the next study with 429.
+	// A saturated server rejects the next study with over-budget.
 	hold := &holdBackend{release: make(chan struct{})}
 	defer close(hold.release)
-	_, tsSat := newTestServer(t, Config{Backend: hold, MaxConcurrentStudies: 1, Workers: 1})
-	var st StudyStatus
-	if code := postJSON(t, tsSat.URL+"/api/v1/study", StudyRequest{Study: "single", Scale: testScale}, &st); code != http.StatusAccepted {
-		t.Fatalf("first study: status %d", code)
+	_, cSat := newTestServer(t, Config{Backend: hold, MaxConcurrentStudies: 1, Workers: 1})
+	if _, err := cSat.SubmitStudy(ctx, api.StudyRequest{Study: "single", Scale: testScale}); err != nil {
+		t.Fatalf("first study: %v", err)
 	}
-	if code := postJSON(t, tsSat.URL+"/api/v1/study", StudyRequest{Study: "pair", Scale: testScale}, &e); code != http.StatusTooManyRequests {
-		t.Errorf("second study on a saturated server: status %d, want 429", code)
+	if _, err := cSat.SubmitStudy(ctx, api.StudyRequest{Study: "pair", Scale: testScale}); !errors.Is(err, api.ErrOverBudget) {
+		t.Errorf("second study on a saturated server: error %v, want api.ErrOverBudget", err)
 	}
 }
 
 func TestUnknownJobRoutes(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	for _, url := range []string{
-		ts.URL + "/api/v1/study/job-999",
-		ts.URL + "/api/v1/study/job-999/artifacts/figure2",
-		ts.URL + "/progress/job-999",
-	} {
-		if code := getJSON(t, url, nil); code != http.StatusNotFound {
-			t.Errorf("%s: status %d, want 404", url, code)
-		}
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.Study(ctx, "job-999"); !errors.Is(err, api.ErrNotFound) {
+		t.Errorf("status of unknown job: error %v, want api.ErrNotFound", err)
+	}
+	if _, err := c.Artifact(ctx, "job-999", "figure2"); !errors.Is(err, api.ErrNotFound) {
+		t.Errorf("artifact of unknown job: error %v, want api.ErrNotFound", err)
+	}
+	if _, err := c.Progress(ctx, "job-999", 0); !errors.Is(err, api.ErrNotFound) {
+		t.Errorf("progress of unknown job: error %v, want api.ErrNotFound", err)
 	}
 }
 
 func TestStudyList(t *testing.T) {
 	hold := &holdBackend{release: make(chan struct{})}
 	defer close(hold.release)
-	_, ts := newTestServer(t, Config{Backend: hold, Workers: 1, MaxConcurrentStudies: 2})
-	var first, second StudyStatus
-	if code := postJSON(t, ts.URL+"/api/v1/study", StudyRequest{Study: "single", Scale: testScale}, &first); code != http.StatusAccepted {
-		t.Fatalf("submit: %d", code)
+	_, c := newTestServer(t, Config{Backend: hold, Workers: 1, MaxConcurrentStudies: 2})
+	ctx := context.Background()
+	first, err := c.SubmitStudy(ctx, api.StudyRequest{Study: "single", Scale: testScale})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
 	}
-	if code := postJSON(t, ts.URL+"/api/v1/study", StudyRequest{Study: "pair", Scale: testScale}, &second); code != http.StatusAccepted {
-		t.Fatalf("submit: %d", code)
+	second, err := c.SubmitStudy(ctx, api.StudyRequest{Study: "pair", Scale: testScale})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
 	}
-	var list []StudyStatus
-	if code := getJSON(t, ts.URL+"/api/v1/study", &list); code != http.StatusOK {
-		t.Fatalf("list: %d", code)
+	list, err := c.Studies(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
 	}
 	if len(list) != 2 || list[0].ID != first.ID || list[1].ID != second.ID {
 		t.Fatalf("list %+v, want [%s %s] in submission order", list, first.ID, second.ID)
-	}
-}
-
-// TestRequestHashStability pins the request identity the journal files
-// are keyed by: defaults and their explicit spellings hash identically,
-// different knobs differently.
-func TestRequestHashStability(t *testing.T) {
-	h := func(r StudyRequest) string {
-		t.Helper()
-		s, err := r.hash()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return s
-	}
-	if h(StudyRequest{Study: "single"}) != h(StudyRequest{Study: "single", Scale: 1.0, Seed: 1, Policy: "alternate"}) {
-		t.Error("defaulted and explicit requests hash differently")
-	}
-	seen := map[string]StudyRequest{}
-	for _, r := range []StudyRequest{
-		{Study: "single"},
-		{Study: "pair"},
-		{Study: "single", Scale: 0.5},
-		{Study: "single", Seed: 2},
-		{Study: "single", Policy: "block"},
-	} {
-		k := h(r)
-		if prev, dup := seen[k]; dup {
-			t.Errorf("%+v and %+v collide", prev, r)
-		}
-		seen[k] = r
 	}
 }
 
